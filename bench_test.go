@@ -1,0 +1,216 @@
+package streamline_test
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each runs the corresponding experiment from internal/exp at a
+// reduced scale (a trimmed workload subset on the scaled-down hierarchy) so
+// `go test -bench=. -benchmem` regenerates every result in minutes; the
+// cmd/experiments binary produces the full versions. Key quantities are
+// reported as custom benchmark metrics.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"streamline/internal/exp"
+)
+
+// benchScale trims the Small scale further: three representative irregular
+// workloads (a chase, a gather, a frontier traversal) plus one regular and
+// one cache-resident workload keep each benchmark to a few seconds.
+func benchScale() exp.Scale {
+	sc := exp.Small
+	sc.Workloads = []string{"sphinx06", "soplex06", "bfs", "libquantum06", "bzip206"}
+	sc.Warmup = 300_000
+	sc.Measure = 700_000
+	sc.MixCount = 2
+	return sc
+}
+
+// runExperiment executes one experiment per benchmark iteration and reports
+// selected metrics parsed from its tables.
+func runExperiment(b *testing.B, id string, metrics map[string]cell) {
+	b.Helper()
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		runner := exp.NewRunner(benchScale())
+		tables := e.Run(runner)
+		if len(tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+		if i == 0 {
+			for name, c := range metrics {
+				if v, ok := lookup(tables, c); ok {
+					b.ReportMetric(v, name)
+				}
+			}
+		}
+	}
+}
+
+// cell addresses one numeric value in an experiment's output tables.
+type cell struct {
+	table string // table ID ("" = first table)
+	row   string // row label (first column)
+	col   int    // column index
+}
+
+func lookup(tables []exp.Table, c cell) (float64, bool) {
+	for _, t := range tables {
+		if c.table != "" && t.ID != c.table {
+			continue
+		}
+		for _, row := range t.Rows {
+			if len(row) > c.col && row[0] == c.row {
+				s := strings.TrimSuffix(row[c.col], "%")
+				if v, err := strconv.ParseFloat(s, 64); err == nil {
+					return v, true
+				}
+			}
+		}
+		if c.table == "" {
+			break
+		}
+	}
+	return 0, false
+}
+
+func BenchmarkTable1Partitioning(b *testing.B) {
+	runExperiment(b, "table1", map[string]cell{
+		"FTS-retention-small-%": {row: "FTS", col: 1},
+		"RUW-resize-blocks":     {row: "RUW", col: 3},
+	})
+}
+
+func BenchmarkTable2Parameters(b *testing.B) {
+	runExperiment(b, "table2", nil)
+}
+
+func BenchmarkFig9SingleCore(b *testing.B) {
+	runExperiment(b, "fig9", map[string]cell{
+		"triangel-geomean":   {row: "geomean-all", col: 2},
+		"streamline-geomean": {row: "geomean-all", col: 3},
+	})
+}
+
+func BenchmarkFig10aMultiCore(b *testing.B) {
+	runExperiment(b, "fig10a", map[string]cell{
+		"streamline-2core": {row: "2", col: 2},
+	})
+}
+
+func BenchmarkFig10bMixWinRate(b *testing.B) {
+	runExperiment(b, "fig10b", nil)
+}
+
+func BenchmarkFig10cBandwidth(b *testing.B) {
+	runExperiment(b, "fig10c", map[string]cell{
+		"streamline-1x-bw": {row: "1.00x", col: 2},
+	})
+}
+
+func BenchmarkFig10deCoverageAccuracy(b *testing.B) {
+	runExperiment(b, "fig10de", map[string]cell{
+		"triangel-coverage-%":   {row: "mean", col: 1},
+		"streamline-coverage-%": {row: "mean", col: 2},
+	})
+}
+
+func BenchmarkFig10fDegree(b *testing.B) {
+	runExperiment(b, "fig10f", map[string]cell{
+		"streamline-degree4": {row: "4", col: 2},
+	})
+}
+
+func BenchmarkFig11abBerti(b *testing.B) {
+	runExperiment(b, "fig11ab", map[string]cell{
+		"streamline-geomean": {table: "fig11a", row: "geomean-all", col: 3},
+	})
+}
+
+func BenchmarkFig11cdL2Prefetchers(b *testing.B) {
+	runExperiment(b, "fig11cd", map[string]cell{
+		"streamline-over-ipcp": {table: "fig11c", row: "ipcp", col: 3},
+	})
+}
+
+func BenchmarkFig12aStreamLength(b *testing.B) {
+	runExperiment(b, "fig12a", map[string]cell{
+		"len4-coverage-%":  {row: "4", col: 3},
+		"len16-coverage-%": {row: "16", col: 3},
+	})
+}
+
+func BenchmarkFig12bRedundancy(b *testing.B) {
+	runExperiment(b, "fig12b", map[string]cell{
+		"redundancy-noSA-%": {row: "mean", col: 1},
+		"redundancy-SA-%":   {row: "mean", col: 2},
+	})
+}
+
+func BenchmarkFig12cMetadataBuffer(b *testing.B) {
+	runExperiment(b, "fig12c", map[string]cell{
+		"buf3-alignment-%": {row: "3", col: 1},
+	})
+}
+
+func BenchmarkFig13aStorageEfficiency(b *testing.B) {
+	runExperiment(b, "fig13a", map[string]cell{
+		"streamline-half-speedup": {row: "streamline-0.5x", col: 1},
+		"triangel-full-speedup":   {row: "triangel-1x", col: 1},
+	})
+}
+
+func BenchmarkFig13bMetadataTraffic(b *testing.B) {
+	runExperiment(b, "fig13b", map[string]cell{
+		"traffic-ratio-at-max-%": {row: "128KB", col: 3},
+	})
+}
+
+func BenchmarkFig13cCorrelationHitRate(b *testing.B) {
+	runExperiment(b, "fig13c", map[string]cell{
+		"streamline-tpmj-coverage-%": {table: "fig13c", row: "streamline-tpmj", col: 1},
+	})
+}
+
+func BenchmarkFig14Ablation(b *testing.B) {
+	runExperiment(b, "fig14", map[string]cell{
+		"unopt-coverage-%": {row: "unopt", col: 1},
+		"full-coverage-%":  {row: "streamline", col: 1},
+	})
+}
+
+func BenchmarkFig15Filtering(b *testing.B) {
+	runExperiment(b, "fig15", map[string]cell{
+		"realign-quarter-speedup": {row: "filtered-realign-4", col: 3},
+	})
+}
+
+func BenchmarkSubsetDefinition(b *testing.B) {
+	runExperiment(b, "subset", nil)
+}
+
+func BenchmarkExtBypass(b *testing.B) {
+	runExperiment(b, "ext-bypass", nil)
+}
+
+func BenchmarkExtOffchip(b *testing.B) {
+	runExperiment(b, "ext-offchip", nil)
+}
+
+func BenchmarkExtCompression(b *testing.B) {
+	runExperiment(b, "ext-compression", nil)
+}
+
+func BenchmarkWorkloadCharacterization(b *testing.B) {
+	runExperiment(b, "workloads", nil)
+}
+
+func BenchmarkExtAliasing(b *testing.B) {
+	runExperiment(b, "ext-aliasing", map[string]cell{
+		"alias-rate-6bit-%": {row: "6", col: 2},
+	})
+}

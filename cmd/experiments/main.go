@@ -1,0 +1,113 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig9
+//	experiments -run all -scale paper
+//	experiments -run fig10a,fig13b -v
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"streamline/internal/exp"
+)
+
+func main() {
+	var (
+		runIDs  = flag.String("run", "", "comma-separated experiment ids, or 'all'")
+		scale   = flag.String("scale", "small", "experiment scale: small or paper")
+		list    = flag.Bool("list", false, "list available experiments")
+		verbose = flag.Bool("v", false, "print per-run progress")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list || *runIDs == "" {
+		fmt.Println("available experiments:")
+		for _, e := range exp.All() {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+		}
+		if *runIDs == "" {
+			fmt.Println("\nrun with: experiments -run <id>[,<id>...] | all")
+		}
+		return
+	}
+
+	var sc exp.Scale
+	switch *scale {
+	case "small":
+		sc = exp.Small
+	case "paper":
+		sc = exp.Paper
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want small or paper)\n", *scale)
+		os.Exit(2)
+	}
+
+	var selected []exp.Experiment
+	if *runIDs == "all" {
+		selected = exp.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, ok := exp.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	runner := exp.NewRunner(sc)
+	if *verbose {
+		runner.Progress = os.Stderr
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Printf("# %s — %s (%s scale)\n", e.ID, e.Title, sc.Name)
+		for _, t := range e.Run(runner) {
+			fmt.Println(t)
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, t); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("# %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// writeCSV saves one result table as <dir>/<id>.csv.
+func writeCSV(dir string, t exp.Table) error {
+	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

@@ -1,0 +1,164 @@
+// Command streamsim runs one workload through one system configuration and
+// prints its statistics — the quick way to poke at the simulator.
+//
+// Usage:
+//
+//	streamsim -workload sphinx06 -temporal streamline
+//	streamsim -workload pr -l1 stride -temporal triangel -cores 4
+//	streamsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streamline/internal/core"
+	"streamline/internal/dram"
+	"streamline/internal/meta"
+	"streamline/internal/prefetch"
+	"streamline/internal/prefetch/berti"
+	"streamline/internal/prefetch/bingo"
+	"streamline/internal/prefetch/ipcp"
+	"streamline/internal/prefetch/spp"
+	"streamline/internal/prefetch/stms"
+	"streamline/internal/prefetch/stride"
+	"streamline/internal/prefetch/triage"
+	"streamline/internal/prefetch/triangel"
+	"streamline/internal/sim"
+	"streamline/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "sphinx06", "workload name")
+		l1        = flag.String("l1", "stride", "L1D prefetcher: none|stride|berti")
+		l2        = flag.String("l2", "none", "L2 prefetcher: none|ipcp|bingo|spp")
+		temporal  = flag.String("temporal", "none", "temporal prefetcher: none|triage|triangel|streamline|streamline-bypass|stms")
+		cores     = flag.Int("cores", 1, "core count (same workload on every core)")
+		footprint = flag.Float64("footprint", 0.1, "workload footprint scale")
+		warmup    = flag.Uint64("warmup", 400_000, "warmup instructions")
+		measure   = flag.Uint64("measure", 1_200_000, "measured instructions")
+		metaKB    = flag.Int("meta-kb", 128, "max metadata partition per core (KB)")
+		llcSets   = flag.Int("llc-sets", 256, "LLC sets per core (256=256KB, 2048=2MB)")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		list      = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:")
+		for _, w := range workloads.All() {
+			irr := ""
+			if w.Irregular {
+				irr = " (irregular)"
+			}
+			fmt.Printf("  %-14s %s%s\n", w.Name, w.Suite, irr)
+		}
+		return
+	}
+
+	w, err := workloads.Get(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *cores < 1 {
+		*cores = 1
+	}
+	if *llcSets < 16 || *llcSets&(*llcSets-1) != 0 {
+		fmt.Fprintf(os.Stderr, "-llc-sets must be a power of two >= 16, got %d\n", *llcSets)
+		os.Exit(2)
+	}
+
+	cfg := sim.DefaultConfig(*cores)
+	cfg.LLC.Sets = *llcSets
+	cfg.L2.Sets = max(64, *llcSets/2)
+	cfg.WarmupInstructions = *warmup
+	cfg.MeasureInstructions = *measure
+
+	switch *l1 {
+	case "stride":
+		cfg.L1DPrefetcher = func() prefetch.Prefetcher { return stride.New(stride.DefaultConfig) }
+	case "berti":
+		cfg.L1DPrefetcher = func() prefetch.Prefetcher { return berti.New(berti.DefaultConfig) }
+	case "none":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown l1 prefetcher %q\n", *l1)
+		os.Exit(2)
+	}
+	switch *l2 {
+	case "ipcp":
+		cfg.L2Prefetcher = func() prefetch.Prefetcher { return ipcp.New(ipcp.DefaultConfig) }
+	case "bingo":
+		cfg.L2Prefetcher = func() prefetch.Prefetcher { return bingo.New(bingo.DefaultConfig) }
+	case "spp":
+		cfg.L2Prefetcher = func() prefetch.Prefetcher { return spp.New(spp.DefaultConfig) }
+	case "none":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown l2 prefetcher %q\n", *l2)
+		os.Exit(2)
+	}
+	metaBytes := *metaKB << 10
+	switch *temporal {
+	case "triage":
+		cfg.Temporal = func(b meta.Bridge) prefetch.Prefetcher {
+			c := triage.DefaultConfig()
+			c.MetaBytes = metaBytes
+			return triage.New(c, b)
+		}
+	case "triangel":
+		cfg.Temporal = func(b meta.Bridge) prefetch.Prefetcher {
+			c := triangel.DefaultConfig()
+			c.MetaBytes = metaBytes
+			return triangel.New(c, b)
+		}
+	case "streamline", "streamline-bypass":
+		bypass := *temporal == "streamline-bypass"
+		cfg.Temporal = func(b meta.Bridge) prefetch.Prefetcher {
+			o := core.DefaultOptions()
+			o.MetaBytes = metaBytes
+			o.MinSets = max(8, *llcSets/16)
+			o.Bypass = bypass
+			return core.New(o, b)
+		}
+	case "stms":
+		cfg.TemporalDRAM = func(d *dram.DRAM) prefetch.Prefetcher {
+			return stms.New(stms.DefaultConfig(), d)
+		}
+	case "none":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown temporal prefetcher %q\n", *temporal)
+		os.Exit(2)
+	}
+
+	sys := sim.New(cfg)
+	for c := 0; c < *cores; c++ {
+		sys.SetTrace(c, w.NewTrace(workloads.Scale{Footprint: *footprint}, *seed+int64(c)))
+	}
+	res := sys.Run()
+
+	fmt.Printf("workload=%s cores=%d l1=%s l2=%s temporal=%s\n",
+		*workload, *cores, *l1, *l2, *temporal)
+	for i, c := range res.Cores {
+		fmt.Printf("core %d: IPC %.4f  (%d instr, %d cycles)\n", i, c.IPC, c.Instructions, c.Cycles)
+		fmt.Printf("  L1D: %.1f%% hit, %d misses     L2: %.1f%% hit, %d misses (%.2f MPKI)\n",
+			c.L1D.DemandHitRate()*100, c.L1D.DemandMisses,
+			c.L2.DemandHitRate()*100, c.L2.DemandMisses, c.L2MPKI())
+		if c.PrefetchesIssued > 0 {
+			fmt.Printf("  prefetch: %d issued, %d L2 fills, %d useful (%.1f%% accuracy)\n",
+				c.PrefetchesIssued, c.L2.PrefetchFills, c.L2.UsefulPrefetches,
+				c.PrefetchAccuracy()*100)
+		}
+		if c.Meta.Lookups > 0 {
+			fmt.Printf("  metadata: %d lookups (%.1f%% trigger hit), %d reads, %d writes, %d rearrange blocks, %d filtered\n",
+				c.Meta.Lookups, c.Meta.TriggerHitRate()*100, c.Meta.Reads, c.Meta.Writes,
+				c.Meta.RearrangeReads+c.Meta.RearrangeWrites, c.Meta.FilteredInserts)
+		}
+	}
+	fmt.Printf("LLC: %.1f%% demand hit, %d meta reads, %d meta writes\n",
+		res.LLC.DemandHitRate()*100, res.LLC.MetaReads, res.LLC.MetaWrites)
+	fmt.Printf("DRAM: %d reads, %d writes, %.1f%% row hits, %d queue cycles\n",
+		res.DRAM.Reads, res.DRAM.Writes, res.DRAM.RowHitRate()*100, res.DRAM.QueueCycles)
+}

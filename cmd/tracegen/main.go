@@ -1,0 +1,154 @@
+// Command tracegen generates synthetic workload traces to files (the trace
+// package's compact binary format) and inspects existing ones.
+//
+// Usage:
+//
+//	tracegen -workload pr -instructions 1000000 -o pr.trace
+//	tracegen -inspect pr.trace
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streamline/internal/mem"
+	"streamline/internal/trace"
+	"streamline/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "", "workload to generate")
+		out       = flag.String("o", "", "output trace file")
+		instr     = flag.Uint64("instructions", 1_000_000, "instruction budget")
+		footprint = flag.Float64("footprint", 0.1, "workload footprint scale")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		inspect   = flag.String("inspect", "", "trace file to summarize")
+		analyze   = flag.String("analyze", "", "workload to characterize (no file needed)")
+		list      = flag.Bool("list", false, "list workloads")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, w := range workloads.All() {
+			irr := ""
+			if w.Irregular {
+				irr = " (irregular)"
+			}
+			fmt.Printf("%-14s %s%s\n", w.Name, w.Suite, irr)
+		}
+	case *inspect != "":
+		if err := inspectTrace(*inspect); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *analyze != "":
+		w, err := workloads.Get(*analyze)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		a := workloads.Analyze(w, workloads.Scale{Footprint: *footprint}, *seed, *instr)
+		fmt.Printf("%s (footprint %.2f, %d instructions):\n", w.Name, *footprint, *instr)
+		fmt.Printf("  records %d, footprint %d lines (%.1f MB), %d PCs\n",
+			a.Records, a.FootprintLines, float64(a.FootprintLines)*64/1e6, a.PCs)
+		fmt.Printf("  line multiplicity %.2f, pair stability %.1f%%\n",
+			a.LineMultiplicity, a.PairStability*100)
+		fmt.Printf("  sequential %.1f%%, dependent %.1f%%, stores %.1f%%\n",
+			a.SequentialFraction*100, a.DependentFraction*100, a.StoreFraction*100)
+	case *workload != "" && *out != "":
+		if err := generate(*workload, *out, *instr, *footprint, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func generate(name, out string, instr uint64, footprint float64, seed int64) error {
+	w, err := workloads.Get(name)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tw, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	tr := trace.NewLimit(w.NewTrace(workloads.Scale{Footprint: footprint}, seed), instr)
+	var total uint64
+	for {
+		rec, ok := tr.Next()
+		if !ok {
+			break
+		}
+		if err := tw.Write(rec); err != nil {
+			return err
+		}
+		total += rec.Instructions()
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records (%d instructions) to %s\n", tw.Count(), total, out)
+	return nil
+}
+
+func inspectTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var (
+		records, instr, writes, deps uint64
+		lines                        = map[mem.Line]struct{}{}
+		pcs                          = map[mem.PC]struct{}{}
+	)
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		records++
+		instr += rec.Instructions()
+		if rec.IsWrite {
+			writes++
+		}
+		if rec.DependsOnPrev {
+			deps++
+		}
+		lines[mem.LineOf(rec.Addr)] = struct{}{}
+		pcs[rec.PC] = struct{}{}
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("%s:\n", path)
+	fmt.Printf("  %d memory records, %d instructions\n", records, instr)
+	fmt.Printf("  %d writes (%.1f%%), %d dependent loads (%.1f%%)\n",
+		writes, pct(writes, records), deps, pct(deps, records))
+	fmt.Printf("  footprint: %d distinct lines (%.1f MB), %d PCs\n",
+		len(lines), float64(len(lines))*mem.LineSize/1e6, len(pcs))
+	return nil
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

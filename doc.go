@@ -1,0 +1,25 @@
+// Package streamline is a from-scratch Go reproduction of "Streamlined
+// On-Chip Temporal Prefetching" (Duong & Lin, HPCA 2026): the Streamline
+// temporal prefetcher, its Triage/Triangel baselines, the regular
+// prefetchers of the paper's evaluation, and the full trace-driven
+// simulation substrate they run on.
+//
+// Layout:
+//
+//   - internal/core — the Streamline prefetcher (the paper's contribution)
+//   - internal/meta — the on-chip metadata substrate: pairwise and stream
+//     stores, the Table I partitioning schemes, utility partitioning
+//   - internal/prefetch/... — stride, Berti, IPCP, Bingo, SPP-PPF, Triage,
+//     Triangel
+//   - internal/{cache,cpu,dram,sim} — the simulated system of Table II
+//   - internal/workloads — synthetic SPEC/GAP-like benchmark suite
+//   - internal/exp — the experiment harness (one runner per table/figure)
+//   - cmd/{streamsim,experiments,tracegen} — executables
+//   - examples/ — runnable scenarios built on the public pieces
+//
+// The benchmarks in bench_test.go regenerate a reduced version of every
+// table and figure; `go run ./cmd/experiments -run all` produces the full
+// set, and `-scale paper` uses the Table II hierarchy with full synthetic
+// footprints. DESIGN.md maps every experiment to the modules that implement
+// it; EXPERIMENTS.md records paper-reported versus measured results.
+package streamline

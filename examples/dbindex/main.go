@@ -1,0 +1,74 @@
+// Database index probing: a hash-join-style scenario. One PC performs
+// dependent index probes (temporally prefetchable when the probe schedule
+// repeats), another scans relations sequentially. The example inspects
+// Streamline's per-PC machinery: stability-based degree control throttles
+// the churning phase while the stable phase runs at full degree, and the
+// dynamic partitioner sizes the metadata store.
+//
+//	go run ./examples/dbindex
+package main
+
+import (
+	"fmt"
+
+	"streamline/internal/core"
+	"streamline/internal/meta"
+	"streamline/internal/prefetch"
+	"streamline/internal/prefetch/stride"
+	"streamline/internal/sim"
+	"streamline/internal/workloads"
+)
+
+func run(workload string, temporal bool) (sim.Result, *sim.System) {
+	cfg := sim.DefaultConfig(1)
+	cfg.L2.Sets = 128
+	cfg.LLC.Sets = 256
+	cfg.WarmupInstructions = 300_000
+	cfg.MeasureInstructions = 900_000
+	cfg.L1DPrefetcher = func() prefetch.Prefetcher { return stride.New(stride.DefaultConfig) }
+	if temporal {
+		cfg.Temporal = func(b meta.Bridge) prefetch.Prefetcher {
+			o := core.DefaultOptions()
+			o.MetaBytes = 128 << 10
+			o.MinSets = 16
+			return core.New(o, b)
+		}
+	}
+	sys := sim.New(cfg)
+	w, err := workloads.Get(workload)
+	if err != nil {
+		panic(err)
+	}
+	sys.SetTrace(0, w.NewTrace(workloads.Scale{Footprint: 0.1}, 7))
+	return sys.Run(), sys
+}
+
+func main() {
+	fmt.Println("Index probing scenarios: stable (gcc17-like) vs churning (xz17-like)")
+	fmt.Println()
+	for _, wl := range []string{"gcc17", "xz17"} {
+		base, _ := run(wl, false)
+		with, sys := run(wl, true)
+		fmt.Printf("%s:\n", wl)
+		fmt.Printf("  IPC %.4f -> %.4f (%.2fx)\n", base.IPC(), with.IPC(), with.IPC()/base.IPC())
+		fmt.Printf("  L2 misses %d -> %d\n",
+			base.Cores[0].L2.DemandMisses, with.Cores[0].L2.DemandMisses)
+
+		// Inspect the prefetcher's internal view.
+		if p, ok := sys.TemporalOf(0).(*core.Prefetcher); ok {
+			s := p.Stats
+			total := s.BufferHits + s.BufferMisses
+			if total > 0 {
+				fmt.Printf("  metadata buffer hit rate: %.0f%% (stable PCs sit near 75%%)\n",
+					100*float64(s.BufferHits)/float64(total))
+			}
+			fmt.Printf("  stream alignments: %d of %d opportunities\n",
+				s.Alignments, s.AlignmentOpportunities)
+			fmt.Printf("  partition: %d KB of %d KB max (utility-aware)\n",
+				p.Store().SizeBytes()>>10, p.Store().Config().MaxBytes>>10)
+		}
+		fmt.Println()
+	}
+	fmt.Println("the churning schedule destabilizes its PC: degree control and the")
+	fmt.Println("confidence bits suppress most of the useless prefetches it would cause.")
+}

@@ -1,0 +1,98 @@
+// Graph analytics: the GAP-style scenario from the paper's evaluation.
+// Four graph workloads run on a multi-core system, comparing the baseline,
+// Triangel, and Streamline — the setting where the paper reports its
+// largest wins (Figure 9's GAP columns and Figure 10's multi-core results).
+//
+//	go run ./examples/graphanalytics
+package main
+
+import (
+	"fmt"
+
+	"streamline/internal/core"
+	"streamline/internal/meta"
+	"streamline/internal/prefetch"
+	"streamline/internal/prefetch/stride"
+	"streamline/internal/prefetch/triangel"
+	"streamline/internal/sim"
+	"streamline/internal/workloads"
+)
+
+const (
+	metaBytes = 128 << 10
+	footprint = 0.1
+)
+
+func baseConfig(cores int) sim.Config {
+	cfg := sim.DefaultConfig(cores)
+	cfg.L2.Sets = 128
+	cfg.LLC.Sets = 256
+	cfg.WarmupInstructions = 300_000
+	cfg.MeasureInstructions = 800_000
+	cfg.L1DPrefetcher = func() prefetch.Prefetcher { return stride.New(stride.DefaultConfig) }
+	// The scaled-down hierarchy needs proportionally scaled memory-system
+	// parallelism (see exp.Scale.Bandwidth) or everything is DRAM-bound.
+	cfg.DRAM.Channels *= 4
+	return cfg
+}
+
+func run(cores int, names []string, temporal sim.TemporalFactory) sim.Result {
+	cfg := baseConfig(cores)
+	cfg.Temporal = temporal
+	sys := sim.New(cfg)
+	for c := 0; c < cores; c++ {
+		w, err := workloads.Get(names[c%len(names)])
+		if err != nil {
+			panic(err)
+		}
+		sys.SetTrace(c, w.NewTrace(workloads.Scale{Footprint: footprint}, int64(100+c)))
+	}
+	return sys.Run()
+}
+
+func sumIPC(r sim.Result) float64 {
+	total := 0.0
+	for _, c := range r.Cores {
+		total += c.IPC
+	}
+	return total
+}
+
+func main() {
+	graphs := []string{"pr", "bfs", "cc", "sssp"}
+	cores := 4
+
+	fmt.Printf("Graph analytics on %d cores: %v\n\n", cores, graphs)
+
+	base := run(cores, graphs, nil)
+	tri := run(cores, graphs, func(b meta.Bridge) prefetch.Prefetcher {
+		c := triangel.DefaultConfig()
+		c.MetaBytes = metaBytes
+		return triangel.New(c, b)
+	})
+	str := run(cores, graphs, func(b meta.Bridge) prefetch.Prefetcher {
+		o := core.DefaultOptions()
+		o.MetaBytes = metaBytes
+		o.MinSets = 16
+		return core.New(o, b)
+	})
+
+	fmt.Printf("%-12s %10s %10s %10s\n", "core", "baseline", "triangel", "streamline")
+	for i := range base.Cores {
+		fmt.Printf("%-12s %10.4f %10.4f %10.4f\n",
+			graphs[i%len(graphs)], base.Cores[i].IPC, tri.Cores[i].IPC, str.Cores[i].IPC)
+	}
+	fmt.Printf("%-12s %10.4f %10.4f %10.4f\n", "sum", sumIPC(base), sumIPC(tri), sumIPC(str))
+	fmt.Printf("\nthroughput speedup: triangel %.3fx, streamline %.3fx\n",
+		sumIPC(tri)/sumIPC(base), sumIPC(str)/sumIPC(base))
+
+	var triT, strT uint64
+	for i := range tri.Cores {
+		triT += tri.Cores[i].Meta.Traffic()
+		strT += str.Cores[i].Meta.Traffic()
+	}
+	fmt.Printf("metadata traffic (blocks): triangel %d, streamline %d (%.0f%%)\n",
+		triT, strT, 100*float64(strT)/float64(triT))
+	fmt.Println("\nthe stream-based format holds 33% more correlations per block, which")
+	fmt.Println("is why streamline covers more of the graphs' gather misses (Fig 9/10).")
+}

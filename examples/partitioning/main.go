@@ -1,0 +1,93 @@
+// Partitioning schemes: a direct demonstration of Table I and Section IV-C.
+// Builds the eight {Rearranged,Filtered} x {Untagged,Tagged} x {Way,Set}
+// metadata stores, fills them with a reused trigger population, and shows
+// (a) how much each retains (associativity/conflicts) and (b) what one
+// repartition costs in shuffled LLC blocks — the operation Streamline's
+// filtered tagged set-partitioning (FTS) eliminates.
+//
+//	go run ./examples/partitioning
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamline/internal/mem"
+	"streamline/internal/meta"
+)
+
+const (
+	llcSets  = 2048 // a 2MB LLC, as in Table II
+	llcWays  = 16
+	maxBytes = 1 << 20
+)
+
+func build(filtered, tagged, setPart bool) *meta.Store {
+	return meta.NewStore(meta.StoreConfig{
+		Format:         meta.Stream,
+		StreamLength:   4,
+		Filtered:       filtered,
+		Tagged:         tagged,
+		SetPartitioned: setPart,
+		MetaWaysPerSet: 8,
+		MaxBytes:       maxBytes,
+	}, &meta.NullBridge{Sets: llcSets, Ways: llcWays})
+}
+
+// retention fills the store to 75% of capacity with reused triggers and
+// reports how many remain findable (lost entries mean conflict evictions).
+func retention(st *meta.Store, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	n := st.SizeBytes() / mem.LineSize * 3 // 75% of the 4-entries/block capacity
+	triggers := make([]mem.Line, 0, n)
+	for len(triggers) < n {
+		tr := mem.Line(rng.Uint64() >> 16)
+		if st.WouldFilter(tr) {
+			continue
+		}
+		triggers = append(triggers, tr)
+	}
+	for _, tr := range triggers {
+		st.Insert(0, 1, meta.Entry{Trigger: tr, Targets: []mem.Line{1, 2, 3, 4}})
+	}
+	found := 0
+	for _, tr := range triggers {
+		if _, ok, _ := st.Lookup(0, 1, tr); ok {
+			found++
+		}
+	}
+	return float64(found) / float64(len(triggers))
+}
+
+func main() {
+	fmt.Println("Table I live: the eight metadata partitioning schemes")
+	fmt.Printf("%-6s %-28s %12s %16s\n", "scheme", "configuration", "retention", "resize traffic")
+	for _, filtered := range []bool{false, true} {
+		for _, tagged := range []bool{false, true} {
+			for _, setPart := range []bool{false, true} {
+				st := build(filtered, tagged, setPart)
+				ret := retention(st, 1)
+
+				// Refill and halve the partition: rearranged schemes
+				// shuffle misplaced entries through the LLC.
+				st2 := build(filtered, tagged, setPart)
+				retention(st2, 2)
+				traffic := st2.Resize(maxBytes / 2)
+
+				desc := map[bool]string{true: "filtered", false: "rearranged"}[filtered] +
+					" " + map[bool]string{true: "tagged", false: "untagged"}[tagged] +
+					" " + map[bool]string{true: "set-part", false: "way-part"}[setPart]
+				marker := ""
+				if st.SchemeName() == "FTS" {
+					marker = "  <- Streamline"
+				}
+				fmt.Printf("%-6s %-28s %11.1f%% %9d blocks%s\n",
+					st.SchemeName(), desc, ret*100, traffic, marker)
+			}
+		}
+	}
+	fmt.Println()
+	fmt.Println("FTS combines full retention (tag-checked 32-entry associativity) with")
+	fmt.Println("zero-cost repartitioning (the fixed index function never misplaces an")
+	fmt.Println("entry; shrinking just filters) — the Table I conclusion.")
+}

@@ -1,0 +1,390 @@
+// Package cache implements the set-associative caches of the simulated
+// hierarchy: tag arrays with pluggable replacement, prefetch bits for
+// coverage/accuracy accounting, MSHR occupancy and port contention for
+// timing, and — for the LLC — way reservation hooks that carve out the
+// temporal prefetchers' metadata partitions.
+package cache
+
+import (
+	"fmt"
+
+	"streamline/internal/mem"
+	"streamline/internal/replacement"
+)
+
+// Config describes one cache level.
+type Config struct {
+	// Name labels the level in reports ("L1D", "L2", "LLC").
+	Name string
+	// Sets and Ways define the geometry; Sets must be a power of two.
+	Sets, Ways int
+	// Latency is the access latency in cycles.
+	Latency uint64
+	// MSHRs bounds outstanding misses.
+	MSHRs int
+	// Ports is the number of read/write ports (accesses per cycle).
+	Ports int
+	// Policy constructs the replacement policy; nil defaults to LRU.
+	Policy replacement.Factory
+}
+
+// SizeBytes returns the data capacity of the configured cache.
+func (c Config) SizeBytes() int { return c.Sets * c.Ways * mem.LineSize }
+
+// Stats aggregates a cache level's event counts.
+type Stats struct {
+	DemandAccesses uint64
+	DemandHits     uint64
+	DemandMisses   uint64
+
+	PrefetchAccesses uint64
+	PrefetchHits     uint64
+
+	MetaReads  uint64
+	MetaWrites uint64
+
+	PrefetchFills    uint64
+	UsefulPrefetches uint64 // demand hits on lines brought in by prefetch
+	LatePrefetches   uint64 // demand hits that had to wait for an in-flight fill
+	UnusedPrefetches uint64 // prefetched lines evicted without a demand hit
+
+	Evictions  uint64
+	Writebacks uint64
+
+	PortStallCycles uint64 // queueing delay due to port contention
+	MSHRStallCycles uint64 // delay waiting for a free MSHR
+	ExtraWaitCycles uint64 // demand cycles spent waiting on in-flight fills
+}
+
+// DemandHitRate returns demand hits over demand accesses.
+func (s Stats) DemandHitRate() float64 {
+	if s.DemandAccesses == 0 {
+		return 0
+	}
+	return float64(s.DemandHits) / float64(s.DemandAccesses)
+}
+
+type line struct {
+	tag        mem.Line
+	pc         mem.PC
+	valid      bool
+	dirty      bool
+	prefetched bool
+	readyAt    uint64 // cycle at which the fill completes (late prefetches)
+}
+
+// Victim describes a line displaced by a fill.
+type Victim struct {
+	Line       mem.Line
+	Dirty      bool
+	Prefetched bool // evicted while still unused by demand
+	Valid      bool
+}
+
+// Cache is one level of the hierarchy.
+type Cache struct {
+	cfg  Config
+	sets [][]line
+	repl replacement.Policy
+
+	// reserved[s] is the number of low-indexed ways of set s unavailable
+	// to data (owned by a metadata partition). Data occupies the rest.
+	reserved []int
+
+	port  mem.RateLimiter
+	mshr  []uint64 // ring of outstanding miss completion times
+	mshrI int
+
+	Stats Stats
+}
+
+// New constructs a cache from cfg.
+func New(cfg Config) *Cache {
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: sets must be a positive power of two, got %d", cfg.Name, cfg.Sets))
+	}
+	if cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache %s: ways must be positive, got %d", cfg.Name, cfg.Ways))
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = replacement.NewLRU
+	}
+	if cfg.Ports <= 0 {
+		cfg.Ports = 1
+	}
+	if cfg.MSHRs <= 0 {
+		cfg.MSHRs = 8
+	}
+	c := &Cache{
+		cfg:      cfg,
+		sets:     make([][]line, cfg.Sets),
+		repl:     cfg.Policy(cfg.Sets, cfg.Ways),
+		reserved: make([]int, cfg.Sets),
+		port: mem.RateLimiter{
+			BucketCycles: portWindow,
+			Capacity:     uint64(cfg.Ports) * portWindow,
+		},
+		mshr: make([]uint64, cfg.MSHRs),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Latency returns the configured access latency.
+func (c *Cache) Latency() uint64 { return c.cfg.Latency }
+
+// SetOf returns the set index for a line.
+func (c *Cache) SetOf(l mem.Line) int { return int(uint64(l) & uint64(c.cfg.Sets-1)) }
+
+// portWindow is the port rate limiter's bucket width in cycles: a cache
+// with P ports serves at most P*portWindow accesses per portWindow cycles.
+const portWindow = 64
+
+// PortDelay models port contention as a bucketed rate limit and returns the
+// queueing delay for an access arriving at cycle now (see mem.RateLimiter
+// for why arrival-order insensitivity matters here).
+//
+// Demand accesses have priority: hardware services them from a separate
+// queue ahead of prefetch and metadata traffic, so they consume a port slot
+// but never wait behind low-priority work.
+func (c *Cache) PortDelay(now uint64, demand bool) uint64 {
+	delay := c.port.Charge(now, 1)
+	if demand {
+		return 0
+	}
+	c.Stats.PortStallCycles += delay
+	return delay
+}
+
+// MSHRDelay reserves an MSHR for a miss starting at start that completes at
+// ready, returning the delay (if any) until an MSHR frees up.
+func (c *Cache) MSHRDelay(start, ready uint64) uint64 {
+	slot, delay := c.MSHRReserve(start)
+	c.MSHRComplete(slot, ready+delay)
+	return delay
+}
+
+// MSHRReserve claims an MSHR for a miss beginning at start, returning the
+// slot and the stall (if any) until one frees. The caller must complete the
+// reservation with MSHRComplete once the fill time is known.
+func (c *Cache) MSHRReserve(start uint64) (slot int, delay uint64) {
+	oldest := c.mshr[c.mshrI]
+	if oldest > start {
+		delay = oldest - start
+	}
+	slot = c.mshrI
+	c.mshr[slot] = start + delay // placeholder until MSHRComplete
+	c.mshrI = (c.mshrI + 1) % len(c.mshr)
+	c.Stats.MSHRStallCycles += delay
+	return slot, delay
+}
+
+// MSHRComplete records the fill time of a reserved MSHR, freeing it then.
+func (c *Cache) MSHRComplete(slot int, ready uint64) {
+	if ready > c.mshr[slot] {
+		c.mshr[slot] = ready
+	}
+}
+
+// LookupResult reports the outcome of a cache lookup.
+type LookupResult struct {
+	Hit bool
+	// WasPrefetched is set when a demand access hit a line installed by a
+	// prefetch that had not yet been used — a useful prefetch.
+	WasPrefetched bool
+	// ExtraWait is the additional delay when the hit line's fill is still
+	// in flight (a late prefetch).
+	ExtraWait uint64
+}
+
+// Lookup searches for the access's line, updating replacement and
+// prefetch-bit state. now is the cycle the access reaches this level.
+func (c *Cache) Lookup(now uint64, a mem.Access) LookupResult {
+	set := c.SetOf(a.Line())
+	demand := a.Kind.IsDemand()
+	if demand {
+		c.Stats.DemandAccesses++
+	} else if a.Kind == mem.Prefetch {
+		c.Stats.PrefetchAccesses++
+	}
+	for w := c.reserved[set]; w < c.cfg.Ways; w++ {
+		ln := &c.sets[set][w]
+		if !ln.valid || ln.tag != a.Line() {
+			continue
+		}
+		var res LookupResult
+		res.Hit = true
+		if ln.readyAt > now {
+			res.ExtraWait = ln.readyAt - now
+			if demand {
+				c.Stats.ExtraWaitCycles += res.ExtraWait
+				if ln.prefetched {
+					c.Stats.LatePrefetches++
+				}
+			}
+		}
+		if demand {
+			c.Stats.DemandHits++
+			if ln.prefetched {
+				res.WasPrefetched = true
+				ln.prefetched = false
+				c.Stats.UsefulPrefetches++
+			}
+		} else if a.Kind == mem.Prefetch {
+			c.Stats.PrefetchHits++
+		}
+		if a.Kind == mem.Store {
+			ln.dirty = true
+		}
+		c.repl.Hit(set, w, replacement.Access{PC: a.PC, Line: a.Line()})
+		return res
+	}
+	if demand {
+		c.Stats.DemandMisses++
+	}
+	return LookupResult{}
+}
+
+// Probe reports whether the line is resident, without touching any state.
+func (c *Cache) Probe(l mem.Line) bool {
+	set := c.SetOf(l)
+	for w := c.reserved[set]; w < c.cfg.Ways; w++ {
+		ln := &c.sets[set][w]
+		if ln.valid && ln.tag == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill installs a line, returning the displaced victim (Valid=false when an
+// empty way absorbed the fill). readyAt is the cycle the fill data arrives;
+// prefetch marks prefetch-installed lines for coverage accounting.
+func (c *Cache) Fill(a mem.Access, readyAt uint64, prefetch bool) Victim {
+	set := c.SetOf(a.Line())
+	lo := c.reserved[set]
+	if lo >= c.cfg.Ways {
+		// The whole set is reserved for metadata; cannot cache the line.
+		return Victim{}
+	}
+	way := -1
+	for w := lo; w < c.cfg.Ways; w++ {
+		ln := &c.sets[set][w]
+		if ln.valid && ln.tag == a.Line() {
+			// Already present (e.g. a racing fill); refresh in place.
+			way = w
+			break
+		}
+		if !ln.valid && way < 0 {
+			way = w
+		}
+	}
+	var victim Victim
+	if way < 0 {
+		way = c.repl.Victim(set, lo, replacement.Access{PC: a.PC, Line: a.Line()})
+		ln := &c.sets[set][way]
+		victim = Victim{Line: ln.tag, Dirty: ln.dirty, Prefetched: ln.prefetched, Valid: true}
+		c.Stats.Evictions++
+		if ln.dirty {
+			c.Stats.Writebacks++
+		}
+		if ln.prefetched {
+			c.Stats.UnusedPrefetches++
+		}
+		c.repl.Evict(set, way)
+	}
+	if prefetch {
+		c.Stats.PrefetchFills++
+	}
+	c.sets[set][way] = line{
+		tag:        a.Line(),
+		pc:         a.PC,
+		valid:      true,
+		dirty:      a.Kind == mem.Store || a.Kind == mem.Writeback,
+		prefetched: prefetch,
+		readyAt:    readyAt,
+	}
+	c.repl.Fill(set, way, replacement.Access{PC: a.PC, Line: a.Line()})
+	return victim
+}
+
+// MarkDirty sets the dirty bit of a resident line (used when a writeback
+// from an upper level lands on a resident copy).
+func (c *Cache) MarkDirty(l mem.Line) bool {
+	set := c.SetOf(l)
+	for w := c.reserved[set]; w < c.cfg.Ways; w++ {
+		ln := &c.sets[set][w]
+		if ln.valid && ln.tag == l {
+			ln.dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// ReservedWays returns the number of ways of set s reserved for metadata.
+func (c *Cache) ReservedWays(s int) int { return c.reserved[s] }
+
+// Reserve changes the number of reserved ways in set s to ways, flushing any
+// data lines occupying the newly reserved region. It returns the number of
+// invalidated lines and how many of them were dirty (writeback traffic the
+// repartition caused).
+func (c *Cache) Reserve(s, ways int) (flushed, dirty int) {
+	if ways < 0 {
+		ways = 0
+	}
+	if ways > c.cfg.Ways {
+		ways = c.cfg.Ways
+	}
+	old := c.reserved[s]
+	c.reserved[s] = ways
+	for w := old; w < ways; w++ {
+		ln := &c.sets[s][w]
+		if ln.valid {
+			flushed++
+			if ln.dirty {
+				dirty++
+			}
+			c.repl.Evict(s, w)
+			*ln = line{}
+		}
+	}
+	return flushed, dirty
+}
+
+// DataWays returns the number of ways of set s available to data.
+func (c *Cache) DataWays(s int) int { return c.cfg.Ways - c.reserved[s] }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.cfg.Sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.cfg.Ways }
+
+// CountMeta records metadata traffic served by this cache (the LLC).
+func (c *Cache) CountMeta(kind mem.Kind) {
+	switch kind {
+	case mem.MetaRead:
+		c.Stats.MetaReads++
+	case mem.MetaWrite:
+		c.Stats.MetaWrites++
+	}
+}
+
+// OccupiedLines returns the number of valid data lines (diagnostics).
+func (c *Cache) OccupiedLines() int {
+	n := 0
+	for s := range c.sets {
+		for w := c.reserved[s]; w < c.cfg.Ways; w++ {
+			if c.sets[s][w].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

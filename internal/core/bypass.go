@@ -1,0 +1,139 @@
+package core
+
+import "streamline/internal/mem"
+
+// This file implements the metadata bypass extension. Section V-B1 of the
+// paper notes that Triangel outperforms Streamline on SPEC 2006 mcf because
+// Triangel bypasses metadata from scan PCs (data accesses with no temporal
+// reuse) while "Streamline does not have a bypassing mechanism [and] must
+// insert these non-temporal entries and evict more valuable entries".
+// Options.Bypass adds that mechanism: a small per-PC reuse sampler in the
+// spirit of Triangel's history sampler, adapted to stream entries — a
+// sampled completed entry that is never re-triggered before aging out marks
+// its PC as scan-like, and scan-like PCs stop inserting metadata.
+
+// bypassSampler tracks sampled stream triggers per PC to measure whether a
+// PC's metadata is ever reused.
+type bypassSampler struct {
+	entries []bypassEntry
+	next    int
+}
+
+type bypassEntry struct {
+	valid   bool
+	trigger mem.Line
+	pcSig   uint32
+	used    bool
+}
+
+func newBypassSampler(size int) *bypassSampler {
+	return &bypassSampler{entries: make([]bypassEntry, size)}
+}
+
+// probe marks a sampled trigger as reused and reports whether it was found.
+func (b *bypassSampler) probe(trigger mem.Line) (uint32, bool) {
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.valid && e.trigger == trigger {
+			if !e.used {
+				e.used = true
+				return e.pcSig, true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// insert samples a completed entry's trigger, returning the evicted victim
+// if it aged out unused (the "no reuse" signal).
+func (b *bypassSampler) insert(trigger mem.Line, pcSig uint32) (uint32, bool) {
+	v := &b.entries[b.next]
+	b.next = (b.next + 1) % len(b.entries)
+	victimSig, unused := v.pcSig, v.valid && !v.used
+	*v = bypassEntry{valid: true, trigger: trigger, pcSig: pcSig}
+	return victimSig, unused
+}
+
+// bypassState is the per-prefetcher bypass machinery.
+type bypassState struct {
+	sampler *bypassSampler
+	reuse   map[uint32]int8 // per-PC-signature reuse confidence, 0..15
+	ctr     uint32
+	// shift is the adaptive sampling period exponent: unused evictions
+	// lengthen the period (so samples survive to their next-lap reuse on
+	// large footprints), reuses shorten it — the same adaptation
+	// Triangel's history sampler uses.
+	shift uint8
+}
+
+const (
+	bypassSamplerSize = 128
+	bypassThreshold   = 4 // below this, the PC stops inserting metadata
+)
+
+func newBypassState() *bypassState {
+	return &bypassState{
+		sampler: newBypassSampler(bypassSamplerSize),
+		reuse:   make(map[uint32]int8),
+		shift:   4,
+	}
+}
+
+func (b *bypassState) sig(pc mem.PC) uint32 { return uint32(mem.HashPC(pc, 20)) }
+
+func (b *bypassState) bump(sig uint32, d int8) {
+	n := b.reuse[sig] + d
+	if n < 0 {
+		n = 0
+	}
+	if n > 15 {
+		n = 15
+	}
+	b.reuse[sig] = n
+}
+
+// conf returns the PC's reuse confidence, optimistic for unseen PCs so cold
+// workloads begin training.
+func (b *bypassState) conf(pc mem.PC) int8 {
+	if v, ok := b.reuse[b.sig(pc)]; ok {
+		return v
+	}
+	return 8
+}
+
+// observeLookup is called when a prefetch-side store lookup happens for a
+// trigger: a sampled trigger being looked up again is the reuse signal.
+func (b *bypassState) observeLookup(trigger mem.Line) {
+	if sig, reused := b.sampler.probe(trigger); reused {
+		b.bump(sig, 2)
+		if b.shift > 0 {
+			b.shift--
+		}
+	}
+}
+
+// observeCompleted is called for each completed stream entry; it samples at
+// the adaptive period and demotes PCs whose samples age out unused.
+func (b *bypassState) observeCompleted(pc mem.PC, trigger mem.Line) {
+	b.ctr++
+	if b.ctr&(1<<b.shift-1) != 0 {
+		return
+	}
+	sig := b.sig(pc)
+	if _, ok := b.reuse[sig]; !ok {
+		b.reuse[sig] = 8
+	}
+	if victim, unused := b.sampler.insert(trigger, sig); unused {
+		b.bump(victim, -1)
+		if b.shift < 14 {
+			b.shift++
+		}
+	}
+}
+
+// shouldBypass reports whether the PC's completed entries should skip the
+// metadata store.
+func (b *bypassState) shouldBypass(pc mem.PC) bool {
+	return b.conf(pc) < bypassThreshold
+}

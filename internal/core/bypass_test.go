@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamline/internal/mem"
+	"streamline/internal/prefetch"
+)
+
+// scanPlusChase interleaves a stable chase on PC 1 with a never-repeating
+// scan on PC 2, the mcf-like mix where bypassing pays.
+func scanPlusChase(laps int, seed int64) (pcs []mem.PC, lines []mem.Line) {
+	rng := rand.New(rand.NewSource(seed))
+	lap := make([]mem.Line, 3000)
+	for i, v := range rng.Perm(len(lap)) {
+		lap[i] = mem.Line(5000 + v)
+	}
+	scan := mem.Line(1 << 24)
+	for l := 0; l < laps; l++ {
+		for i, x := range lap {
+			pcs = append(pcs, 1)
+			lines = append(lines, x)
+			if i%4 == 0 {
+				pcs = append(pcs, 2)
+				lines = append(lines, scan)
+				scan++
+			}
+		}
+	}
+	return
+}
+
+// feedOne trains the prefetcher with a single event and returns how many
+// prefetches it issued.
+func feedOne(p *Prefetcher, pc mem.PC, line mem.Line, i int) int {
+	reqs := p.Train(prefetch.Event{Now: uint64(i * 20), PC: pc, Addr: mem.AddrOf(line)}, nil)
+	return len(reqs)
+}
+
+func TestBypassSuppressesScanInserts(t *testing.T) {
+	o := DefaultOptions()
+	o.Bypass = true
+	p := New(o, testBridge())
+	pcs, lines := scanPlusChase(8, 1)
+	for i := range lines {
+		feedOne(p, pcs[i], lines[i], i)
+	}
+	if p.Stats.BypassedInserts == 0 {
+		t.Fatal("bypass never suppressed a scan insert")
+	}
+	if !p.bypass.shouldBypass(2) {
+		t.Error("scan PC not marked for bypass")
+	}
+	if p.bypass.shouldBypass(1) {
+		t.Error("chase PC wrongly bypassed")
+	}
+}
+
+func TestBypassPreservesChaseCoverage(t *testing.T) {
+	// With bypass on, the chase PC must still be prefetched as before.
+	run := func(bypass bool) uint64 {
+		o := DefaultOptions()
+		o.Bypass = bypass
+		p := New(o, testBridge())
+		pcs, lines := scanPlusChase(8, 2)
+		issued := uint64(0)
+		for i := range lines {
+			issued += uint64(feedOne(p, pcs[i], lines[i], i))
+		}
+		return issued
+	}
+	with, without := run(true), run(false)
+	if with*10 < without*8 {
+		t.Errorf("bypass cost too many prefetches: %d vs %d", with, without)
+	}
+}
+
+func TestBypassImprovesStoreRetentionUnderScans(t *testing.T) {
+	// The point of bypassing: scans must not evict the chase's metadata.
+	// Compare the chase's store trigger-hit rate with and without bypass
+	// at a small fixed store.
+	run := func(bypass bool) float64 {
+		o := DefaultOptions()
+		o.Bypass = bypass
+		// A small dedicated-size store (max == fixed: no filtering): the
+		// chase needs most of it, so scan insertions thrash it.
+		o.MetaBytes = 32 << 10
+		o.FixedBytes = 32 << 10
+		p := New(o, testBridge())
+		pcs, lines := scanPlusChase(10, 3)
+		for i := range lines {
+			feedOne(p, pcs[i], lines[i], i)
+		}
+		return p.store.Stats.TriggerHitRate()
+	}
+	with, without := run(true), run(false)
+	if with <= without {
+		t.Errorf("bypass did not improve trigger hit rate: %.3f vs %.3f", with, without)
+	}
+}
+
+func TestBypassDisabledByDefault(t *testing.T) {
+	p := New(DefaultOptions(), testBridge())
+	if p.bypass != nil {
+		t.Fatal("bypass state allocated without Options.Bypass")
+	}
+	pcs, lines := scanPlusChase(2, 4)
+	for i := range lines {
+		feedOne(p, pcs[i], lines[i], i)
+	}
+	if p.Stats.BypassedInserts != 0 {
+		t.Error("inserts bypassed with the extension off")
+	}
+}

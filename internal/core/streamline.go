@@ -1,0 +1,669 @@
+// Package core implements Streamline, the paper's on-chip temporal
+// prefetcher. Streamline stores its metadata as length-4 streams instead of
+// pairs (33% more correlations per block), locates entries with filtered
+// tagged set-partitioning (32-entry effective associativity, no metadata
+// rearrangement on resize), repairs stream misalignment with a per-PC
+// 3-entry metadata buffer, recovers filtered triggers by realigning streams,
+// replaces metadata with TP-Mockingjay (correlation-utility-aware), sizes
+// its partition with accuracy-scored utility partitioning, and sets the
+// prefetch degree from per-PC stream stability.
+//
+// Every mechanism can be disabled independently, which is how the paper's
+// ablations (Figures 12, 14 and 15) are produced.
+package core
+
+import (
+	"streamline/internal/mem"
+	"streamline/internal/meta"
+	"streamline/internal/prefetch"
+)
+
+// Options configures Streamline. DefaultOptions returns the paper's design
+// point; the Disable*/override fields produce the ablation variants.
+type Options struct {
+	// StreamLength is the targets per stream entry (4; Figure 12a sweeps).
+	StreamLength int
+	// TUSize is the number of training-unit entries.
+	TUSize int
+	// MetaBufferSize is the per-PC stream metadata buffer capacity
+	// (3; Figure 12c sweeps; 0 disables it, the "- MB" ablation).
+	MetaBufferSize int
+	// MaxDegree bounds prefetching (defaults to StreamLength).
+	MaxDegree int
+	// MetaBytes is the maximum metadata partition size (1MB).
+	MetaBytes int
+	// FixedBytes pins the partition size and disables dynamic
+	// partitioning when positive.
+	FixedBytes int
+	// MinSets is the permanently allocated metadata set count (64), the
+	// floor that keeps sampling alive at the 0MB decision.
+	MinSets int
+	// InstabilityEpoch is the per-PC degree-control period (1024).
+	InstabilityEpoch int
+	// DegreeCuts are the instability thresholds: fewer than DegreeCuts[0]
+	// buffer insertions per epoch prefetches at full degree, and so on
+	// (400/600/800).
+	DegreeCuts [3]int
+	// ResizeEpoch is the partitioner period in sampled accesses (2^15).
+	ResizeEpoch uint64
+
+	// DisableAlignment turns off stream alignment (the "- SA" ablation).
+	DisableAlignment bool
+	// DisableRealignment turns off filtered-trigger realignment
+	// (Figure 15's filtering-loss arm).
+	DisableRealignment bool
+	// DisableDegreeControl pins the degree at MaxDegree.
+	DisableDegreeControl bool
+	// WayPartitioned swaps the FTS store for an untagged way-partitioned
+	// one (the "- TSP" ablation / Streamline-unopt base).
+	WayPartitioned bool
+	// Unfiltered uses rearranged indexing instead of filtered.
+	Unfiltered bool
+	// Skewed and Hybrid enable the Section V-D6 filtering mitigations.
+	Skewed bool
+	Hybrid bool
+	// Policy overrides metadata replacement (nil: TP-Mockingjay; the
+	// "- TP-MJ" ablation passes meta.NewEntrySRRIP).
+	Policy meta.EntryPolicyFactory
+	// EqualWeights scores metadata hits like Triangel's partitioner
+	// instead of by prefetch accuracy (the Section V-D3 comparison).
+	EqualWeights bool
+	// Bypass enables the metadata bypass extension (see bypass.go):
+	// PCs whose metadata is never reused — scans — stop inserting,
+	// addressing the mcf weakness Section V-B1 reports.
+	Bypass bool
+}
+
+// DefaultOptions returns the paper's Streamline configuration.
+func DefaultOptions() Options {
+	return Options{
+		StreamLength:     4,
+		TUSize:           256,
+		MetaBufferSize:   3,
+		MetaBytes:        1 << 20,
+		MinSets:          64,
+		InstabilityEpoch: 1024,
+		DegreeCuts:       [3]int{400, 600, 800},
+		ResizeEpoch:      1 << 15,
+	}
+}
+
+// UnoptOptions returns Streamline-unopt (Figure 14): only the stream-based
+// metadata format, with Triangel-style management everywhere else.
+func UnoptOptions() Options {
+	o := DefaultOptions()
+	o.MetaBufferSize = 0
+	o.DisableAlignment = true
+	o.WayPartitioned = true
+	o.Unfiltered = true
+	o.Policy = meta.NewEntrySRRIP
+	o.EqualWeights = true
+	return o
+}
+
+// Stats counts Streamline-specific events (store-level counts live in the
+// meta.Stats of the underlying store).
+type Stats struct {
+	// CompletedStreams counts stream entries finished by the TU.
+	CompletedStreams uint64
+	// AlignmentOpportunities counts completed entries whose trigger was
+	// found in the metadata buffer (an overlap existed).
+	AlignmentOpportunities uint64
+	// Alignments counts entries merged by stream alignment.
+	Alignments uint64
+	// Realignments counts filtered triggers recovered by shifting the
+	// stream window back; RealignFailures counts unrecoverable ones.
+	Realignments    uint64
+	RealignFailures uint64
+	// BufferHits/BufferMisses count prefetch-side metadata buffer probes.
+	BufferHits     uint64
+	BufferMisses   uint64
+	StoreFetches   uint64 // buffer misses that hit the store
+	DegreeSettings [5]uint64
+	// BypassedInserts counts entries the bypass extension kept out of the
+	// metadata store (zero unless Options.Bypass).
+	BypassedInserts uint64
+}
+
+// AlignmentRate returns alignments over opportunities.
+func (s Stats) AlignmentRate() float64 {
+	if s.AlignmentOpportunities == 0 {
+		return 0
+	}
+	return float64(s.Alignments) / float64(s.AlignmentOpportunities)
+}
+
+// mbSlot is one metadata-buffer entry.
+type mbSlot struct {
+	valid bool
+	e     meta.Entry
+	lru   uint64
+}
+
+// tuEntry is one PC's training-unit state.
+type tuEntry struct {
+	tag   uint32
+	valid bool
+
+	// The stream entry under construction.
+	cur meta.Entry
+
+	// History of recent accesses (stream length + 2) for realignment.
+	hist  []mem.Line
+	histN int
+
+	// Per-PC stream metadata buffer.
+	mb []mbSlot
+
+	// Recently issued prefetch lines: used to detect whether the demand
+	// stream is following the prefetched path and to avoid duplicates.
+	issued    [64]mem.Line
+	issuedIdx int
+
+	// The prefetch cursor: the stream position up to which prefetches
+	// have been issued. It persists across events so each event continues
+	// from where the last one stopped (usually a buffer hit on the same
+	// entry) instead of re-walking the whole chain through the store.
+	cursor mem.Line
+	lead   int // issued-but-not-yet-demanded count (bounds the cursor)
+
+	// Stability-based degree control.
+	accessCtr int
+	insertCtr int
+	degree    int
+}
+
+// Prefetcher is the Streamline temporal prefetcher.
+type Prefetcher struct {
+	opt   Options
+	store *meta.Store
+	part  *meta.Partitioner
+
+	tu    []tuEntry
+	clock uint64
+
+	minBytes int
+	bypass   *bypassState // nil unless Options.Bypass
+
+	Stats Stats
+}
+
+// New constructs Streamline over the given LLC metadata bridge.
+func New(opt Options, bridge meta.Bridge) *Prefetcher {
+	if opt.StreamLength <= 0 {
+		opt = DefaultOptions()
+	}
+	if opt.MaxDegree <= 0 {
+		opt.MaxDegree = opt.StreamLength
+	}
+	if opt.TUSize <= 0 {
+		opt.TUSize = 256
+	}
+	if opt.MetaBufferSize == 0 {
+		// The instability metric counts metadata-buffer insertions; with
+		// no buffer every access inserts, which would read as maximal
+		// instability. Bufferless variants (the "- MB" ablation) use a
+		// fixed degree instead.
+		opt.DisableDegreeControl = true
+	}
+	storeCfg := meta.StoreConfig{
+		Format:         meta.Stream,
+		StreamLength:   opt.StreamLength,
+		Tagged:         !opt.WayPartitioned,
+		Filtered:       !opt.Unfiltered,
+		SetPartitioned: !opt.WayPartitioned,
+		Skewed:         opt.Skewed,
+		Hybrid:         opt.Hybrid,
+		MetaWaysPerSet: 8,
+		MaxBytes:       opt.MetaBytes,
+		Policy:         opt.Policy,
+	}
+	if storeCfg.Policy == nil {
+		storeCfg.Policy = NewTPMockingjay
+	}
+	p := &Prefetcher{
+		opt:   opt,
+		store: meta.NewStore(storeCfg, bridge),
+		tu:    make([]tuEntry, opt.TUSize),
+	}
+	p.minBytes = opt.MinSets * 8 * mem.LineSize
+	if p.minBytes > opt.MetaBytes {
+		p.minBytes = opt.MetaBytes
+	}
+
+	_, llcWays := bridge.Geometry()
+	weight := meta.StreamlineMetaWeight
+	if opt.EqualWeights {
+		weight = meta.EqualMetaWeight
+	}
+	mode := meta.SetMode
+	if opt.WayPartitioned {
+		mode = meta.WayMode
+	}
+	p.part = meta.NewPartitioner(meta.PartitionerConfig{
+		Mode:            mode,
+		Sizes:           []int{0, opt.MetaBytes / 2, opt.MetaBytes},
+		MaxBytes:        opt.MetaBytes,
+		LLCWays:         llcWays,
+		MetaWaysPerSet:  8,
+		EntriesPerBlock: meta.EntriesPerBlock(meta.Stream, opt.StreamLength),
+		EpochAccesses:   opt.ResizeEpoch,
+		DataWeight:      16,
+		MetaWeight:      weight,
+	})
+	if opt.FixedBytes > 0 {
+		p.store.Resize(opt.FixedBytes)
+	}
+	if opt.Bypass {
+		p.bypass = newBypassState()
+	}
+	return p
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "streamline" }
+
+// MetaStats implements prefetch.MetaReporter.
+func (p *Prefetcher) MetaStats() meta.Stats { return p.store.Stats }
+
+// Store exposes the metadata store for experiments.
+func (p *Prefetcher) Store() *meta.Store { return p.store }
+
+// ObserveAccuracy implements prefetch.AccuracyConsumer: the utility-aware
+// partitioner scores metadata hits by epoch prefetch accuracy.
+func (p *Prefetcher) ObserveAccuracy(acc float64) { p.part.ObserveAccuracy(acc) }
+
+// ObserveLLCData implements prefetch.LLCDataObserver.
+func (p *Prefetcher) ObserveLLCData(set int, line mem.Line) {
+	if p.opt.FixedBytes > 0 {
+		return
+	}
+	p.part.ObserveData(set, line)
+}
+
+func (p *Prefetcher) tuFor(pc mem.PC) *tuEntry {
+	idx := int(mem.HashPC(pc, 16)) % len(p.tu)
+	tag := uint32(mem.HashPC(pc, 24))
+	tu := &p.tu[idx]
+	if !tu.valid || tu.tag != tag {
+		*tu = tuEntry{
+			tag:    tag,
+			valid:  true,
+			hist:   make([]mem.Line, p.opt.StreamLength+2),
+			mb:     make([]mbSlot, p.opt.MetaBufferSize),
+			degree: p.opt.MaxDegree,
+		}
+		tu.cur.Targets = make([]mem.Line, 0, p.opt.StreamLength)
+	}
+	return tu
+}
+
+// ---- metadata buffer ----------------------------------------------------
+
+// mbFind locates addr within a buffered entry, returning the entry, its
+// position (0 = trigger), and whether it was found somewhere other than the
+// final position (final-position hits carry no successor information and,
+// for alignment, no overlap).
+func (tu *tuEntry) mbFind(addr mem.Line) (slot *mbSlot, pos int, ok bool) {
+	for i := range tu.mb {
+		s := &tu.mb[i]
+		if !s.valid {
+			continue
+		}
+		if s.e.Trigger == addr {
+			return s, 0, true
+		}
+		for j, t := range s.e.Targets {
+			if t == addr && j < len(s.e.Targets)-1 {
+				return s, j + 1, true
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+func (p *Prefetcher) mbInsert(tu *tuEntry, e meta.Entry) {
+	if len(tu.mb) == 0 {
+		return
+	}
+	p.clock++
+	victim := 0
+	for i := range tu.mb {
+		s := &tu.mb[i]
+		if s.valid && s.e.Trigger == e.Trigger {
+			s.e = e
+			s.lru = p.clock
+			return
+		}
+		if !s.valid {
+			victim = i
+			break
+		}
+		if s.lru < tu.mb[victim].lru {
+			victim = i
+		}
+	}
+	tu.mb[victim] = mbSlot{valid: true, e: e, lru: p.clock}
+}
+
+// ---- training -----------------------------------------------------------
+
+// pushHist records an access for realignment.
+func (tu *tuEntry) pushHist(l mem.Line) {
+	copy(tu.hist[1:], tu.hist[:len(tu.hist)-1])
+	tu.hist[0] = l
+	if tu.histN < len(tu.hist) {
+		tu.histN++
+	}
+}
+
+// train appends the access to the PC's current stream and writes completed
+// entries back, performing stream alignment and filtered-trigger
+// realignment.
+func (p *Prefetcher) train(now uint64, pc mem.PC, tu *tuEntry, line mem.Line) {
+	if tu.cur.Trigger == 0 && len(tu.cur.Targets) == 0 {
+		tu.cur.Trigger = line
+		return
+	}
+	if tu.cur.Trigger == line && len(tu.cur.Targets) == 0 {
+		return // duplicate trigger access; no self-correlation
+	}
+	tu.cur.Targets = append(tu.cur.Targets, line)
+	if len(tu.cur.Targets) < p.opt.StreamLength {
+		return
+	}
+
+	// The entry is complete.
+	p.Stats.CompletedStreams++
+	e := meta.Entry{
+		Trigger: tu.cur.Trigger,
+		Targets: append([]mem.Line(nil), tu.cur.Targets...),
+	}
+
+	// Filtered-trigger realignment (Section IV-C): shift the stream
+	// window back through recent history until the trigger lands in the
+	// partition.
+	if p.store.WouldFilter(e.Trigger) && !p.opt.DisableRealignment {
+		if re, ok := p.realign(tu, e); ok {
+			p.Stats.Realignments++
+			e = re
+		} else {
+			p.Stats.RealignFailures++
+		}
+	}
+
+	// Stream alignment (Section IV-B2): merge with an overlapping buffered
+	// entry so the old trigger keeps prefetching the updated stream. The
+	// fresh entry's leftover correlations bootstrap the next entry.
+	nextTrigger := line
+	var leftover []mem.Line
+	if !p.opt.DisableAlignment {
+		if old, pos, ok := tu.mbFind(e.Trigger); ok {
+			p.Stats.AlignmentOpportunities++
+			if aligned, consumed, ok2 := alignStreams(old.e, pos, e, p.opt.StreamLength); ok2 {
+				p.Stats.Alignments++
+				if consumed < len(e.Targets) {
+					leftover = e.Targets[consumed:]
+					nextTrigger = aligned.Targets[len(aligned.Targets)-1]
+				}
+				e = aligned
+			}
+		}
+	}
+
+	if p.bypass != nil {
+		p.bypass.observeCompleted(pc, e.Trigger)
+	}
+	if p.bypass == nil || !p.bypass.shouldBypass(pc) {
+		p.store.Insert(now, pc, e)
+		if p.opt.FixedBytes == 0 {
+			p.part.ObserveTrigger(p.store.LogicalSetOf(e.Trigger), e.Trigger)
+		}
+	} else {
+		p.Stats.BypassedInserts++
+	}
+	p.mbInsert(tu, e)
+
+	// The final address (or the alignment leftover) bootstraps the next
+	// entry, keeping the stream chain contiguous.
+	tu.cur.Trigger = nextTrigger
+	tu.cur.Targets = tu.cur.Targets[:0]
+	tu.cur.Targets = append(tu.cur.Targets, leftover...)
+}
+
+// realign rebuilds the completed entry with an earlier trigger from the
+// access history so that filtered indexing does not discard it.
+func (p *Prefetcher) realign(tu *tuEntry, e meta.Entry) (meta.Entry, bool) {
+	// hist[0] is the current access (the entry's final target); the
+	// window [trigger, t1..tK] occupies hist[K..0]. Shifting back by s
+	// uses hist[K+s] as trigger.
+	k := p.opt.StreamLength
+	for shift := 1; k+shift < tu.histN; shift++ {
+		cand := tu.hist[k+shift]
+		if p.store.WouldFilter(cand) {
+			continue
+		}
+		re := meta.Entry{Trigger: cand, Targets: make([]mem.Line, 0, k)}
+		for j := k + shift - 1; j >= shift && len(re.Targets) < k; j-- {
+			re.Targets = append(re.Targets, tu.hist[j])
+		}
+		if len(re.Targets) == k {
+			return re, true
+		}
+	}
+	return meta.Entry{}, false
+}
+
+// alignStreams merges an old entry with a new overlapping one: the aligned
+// entry keeps the old trigger and the old prefix up to the overlap point,
+// then continues with the new entry's updated correlations (Figure 3b). It
+// returns the aligned entry and how many of the fresh entry's targets it
+// consumed — the rest bootstrap the next entry.
+func alignStreams(old meta.Entry, pos int, fresh meta.Entry, k int) (meta.Entry, int, bool) {
+	if pos >= 1+len(old.Targets) {
+		return meta.Entry{}, 0, false
+	}
+	aligned := meta.Entry{Trigger: old.Trigger, Targets: make([]mem.Line, 0, k)}
+	// Old prefix: targets before the overlap position.
+	for j := 0; j < pos-1 && j < len(old.Targets); j++ {
+		aligned.Targets = append(aligned.Targets, old.Targets[j])
+	}
+	if pos >= 1 {
+		// The overlap address itself (the fresh entry's trigger).
+		aligned.Targets = append(aligned.Targets, fresh.Trigger)
+	}
+	consumed := 0
+	for _, t := range fresh.Targets {
+		if len(aligned.Targets) >= k {
+			break
+		}
+		aligned.Targets = append(aligned.Targets, t)
+		consumed++
+	}
+	if len(aligned.Targets) == 0 {
+		return meta.Entry{}, 0, false
+	}
+	return aligned, consumed, true
+}
+
+// ---- prefetching ---------------------------------------------------------
+
+// wasIssued reports whether the PC recently issued a prefetch for l.
+func (tu *tuEntry) wasIssued(l mem.Line) bool {
+	for _, x := range tu.issued {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+func (tu *tuEntry) markIssued(l mem.Line) {
+	tu.issued[tu.issuedIdx] = l
+	tu.issuedIdx = (tu.issuedIdx + 1) % len(tu.issued)
+}
+
+// maxLead bounds how many issued-but-unconsumed prefetches a PC may have
+// outstanding — the prefetch distance, in stream positions. It also bounds
+// how much work a wrong-path excursion (a chain hop through an ambiguous
+// trigger) can waste before the demand stream re-anchors the cursor.
+const maxLead = 16
+
+// prefetchChain issues up to the PC's degree of new prefetch requests,
+// continuing from the persistent stream cursor. Because the cursor usually
+// sits inside a buffered entry, a stable PC performs about one metadata
+// fetch per stream length of accesses — the stability property Section
+// IV-E6's degree controller measures. When the demand stream leaves the
+// prefetched path, the cursor re-anchors at the demand line.
+func (p *Prefetcher) prefetchChain(now uint64, pc mem.PC, tu *tuEntry, line mem.Line, out []prefetch.Request) []prefetch.Request {
+	deg := tu.degree
+	if p.opt.DisableDegreeControl {
+		deg = p.opt.MaxDegree
+	}
+	if deg <= 0 {
+		return out
+	}
+	// Track whether the demand stream follows the prefetched path.
+	if tu.wasIssued(line) {
+		if tu.lead > 0 {
+			tu.lead--
+		}
+	} else {
+		// Off the prefetched path: re-anchor at the demand line.
+		tu.cursor = line
+		tu.lead = 0
+	}
+	if tu.cursor == 0 {
+		tu.cursor = line
+	}
+	// The demand's own buffer position is authoritative: if the cursor's
+	// entry no longer contains the demand's forward path (a wrong-path
+	// excursion through an ambiguous trigger), snap back to it.
+	if _, _, ok := tu.mbFind(tu.cursor); !ok {
+		if _, _, ok := tu.mbFind(line); ok {
+			tu.cursor = line
+			tu.lead = 0
+		}
+	}
+	issued := 0
+	cur := tu.cursor
+	var delay uint64
+	for hops := 0; issued < deg && tu.lead < maxLead && hops < 3; hops++ {
+		slot, pos, ok := tu.mbFind(cur)
+		var entry meta.Entry
+		if ok {
+			p.Stats.BufferHits++
+			entry = slot.e
+		} else {
+			p.Stats.BufferMisses++
+			// Every buffer miss costs a metadata read attempt — the
+			// instability signal of Section IV-E6 — whether or not the
+			// trigger is resident.
+			tu.insertCtr++
+			if p.bypass != nil {
+				p.bypass.observeLookup(cur)
+			}
+			e, found, lat := p.store.Lookup(now+delay, pc, cur)
+			if !found {
+				break
+			}
+			p.Stats.StoreFetches++
+			delay += lat
+			entry = e
+			pos = 0
+			p.mbInsert(tu, entry)
+		}
+		// An unconfirmed entry (its trigger recurs with different
+		// continuations, or it has not yet been re-validated by a second
+		// store) rates only a single cautious prefetch; confirmed entries
+		// — and buffer hits, whose match is position-verified context —
+		// get the full degree. The confidence bit is what keeps hops
+		// through ambiguous triggers from prefetching some other
+		// instance's stream.
+		budget := deg
+		if !ok && !entry.Conf {
+			budget = issued + 1
+		}
+		next := cur
+		for j := pos; j < len(entry.Targets) && issued < budget && issued < deg && tu.lead < maxLead; j++ {
+			t := entry.Targets[j]
+			next = t
+			if tu.wasIssued(t) {
+				continue // already in flight
+			}
+			out = append(out, prefetch.Request{Addr: mem.AddrOf(t), Delay: delay})
+			tu.markIssued(t)
+			issued++
+			tu.lead++
+		}
+		if !ok && !entry.Conf {
+			break // do not chain past an unconfirmed entry
+		}
+		if next == cur {
+			break
+		}
+		cur = next
+		tu.cursor = next
+	}
+	return out
+}
+
+// updateDegree applies stability-based degree control (Section IV-E6).
+func (p *Prefetcher) updateDegree(tu *tuEntry) {
+	tu.accessCtr++
+	if tu.accessCtr < p.opt.InstabilityEpoch {
+		return
+	}
+	// Scale thresholds to the epoch length so shorter test epochs work.
+	scale := func(cut int) int { return cut * p.opt.InstabilityEpoch / 1024 }
+	ins := tu.insertCtr
+	switch {
+	case ins < scale(p.opt.DegreeCuts[0]):
+		tu.degree = p.opt.MaxDegree
+	case ins < scale(p.opt.DegreeCuts[1]):
+		tu.degree = max(1, p.opt.MaxDegree-1)
+	case ins < scale(p.opt.DegreeCuts[2]):
+		tu.degree = max(1, p.opt.MaxDegree-2)
+	default:
+		tu.degree = 1
+	}
+	if tu.degree < len(p.Stats.DegreeSettings) {
+		p.Stats.DegreeSettings[tu.degree]++
+	}
+	tu.accessCtr = 0
+	tu.insertCtr = 0
+}
+
+// ---- top level ------------------------------------------------------------
+
+// Train implements prefetch.Prefetcher: called on L2 misses and prefetch
+// hits (Figure 8's training and prefetch flows).
+func (p *Prefetcher) Train(ev prefetch.Event, out []prefetch.Request) []prefetch.Request {
+	line := ev.Line()
+	tu := p.tuFor(ev.PC)
+
+	tu.pushHist(line)
+	p.train(ev.Now, ev.PC, tu, line)
+	out = p.prefetchChain(ev.Now, ev.PC, tu, line, out)
+	if !p.opt.DisableDegreeControl {
+		p.updateDegree(tu)
+	}
+	p.maybeResize()
+	return out
+}
+
+// maybeResize applies the utility-aware partitioner's epoch decisions,
+// honoring the permanently allocated minimum sets.
+func (p *Prefetcher) maybeResize() {
+	if p.opt.FixedBytes > 0 {
+		return
+	}
+	size, changed := p.part.Tick()
+	if !changed {
+		return
+	}
+	if size < p.minBytes {
+		size = p.minBytes
+	}
+	p.store.Resize(size)
+}

@@ -1,0 +1,109 @@
+package cpu
+
+import "testing"
+
+func TestWidthBoundsIPC(t *testing.T) {
+	c := New(Config{Width: 4, ROB: 64})
+	// Pure compute: IPC approaches the width.
+	c.Advance(100000)
+	if ipc := c.IPC(); ipc < 3.9 || ipc > 4.1 {
+		t.Errorf("compute-only IPC = %.2f, want ~4", ipc)
+	}
+}
+
+func TestFastMemoryDoesNotStall(t *testing.T) {
+	c := New(DefaultConfig)
+	for i := 0; i < 10000; i++ {
+		c.Advance(4)
+		t0 := c.BeginMem(false)
+		c.EndMem(t0+5, true) // L1-hit latency
+	}
+	if ipc := c.IPC(); ipc < 5.5 {
+		t.Errorf("L1-hit IPC = %.2f, want close to width 6", ipc)
+	}
+}
+
+func TestDependentLoadsSerialize(t *testing.T) {
+	// Dependent misses: each load waits for the previous one; cycles should
+	// be about nLoads * latency.
+	run := func(dep bool) uint64 {
+		c := New(DefaultConfig)
+		const lat = 200
+		for i := 0; i < 1000; i++ {
+			c.Advance(2)
+			t0 := c.BeginMem(dep)
+			c.EndMem(t0+lat, true)
+		}
+		return c.Finish()
+	}
+	depCycles := run(true)
+	indepCycles := run(false)
+	if depCycles < 1000*200 {
+		t.Errorf("dependent chain finished in %d cycles, want >= 200000", depCycles)
+	}
+	// Independent misses overlap within the ROB window: much faster.
+	if indepCycles*4 > depCycles {
+		t.Errorf("independent (%d) not much faster than dependent (%d)", indepCycles, depCycles)
+	}
+}
+
+func TestROBBoundsOverlap(t *testing.T) {
+	// With a tiny ROB, even independent misses cannot overlap much.
+	run := func(rob int) uint64 {
+		c := New(Config{Width: 6, ROB: rob})
+		const lat = 400
+		for i := 0; i < 2000; i++ {
+			c.Advance(4)
+			t0 := c.BeginMem(false)
+			c.EndMem(t0+lat, true)
+		}
+		return c.Finish()
+	}
+	small, big := run(8), run(512)
+	if small <= big {
+		t.Errorf("small-ROB cycles (%d) <= big-ROB cycles (%d)", small, big)
+	}
+	if float64(small) < 1.5*float64(big) {
+		t.Errorf("ROB size has too little effect: %d vs %d", small, big)
+	}
+}
+
+func TestFinishWaitsForLastMiss(t *testing.T) {
+	c := New(DefaultConfig)
+	c.Advance(10)
+	t0 := c.BeginMem(false)
+	c.EndMem(t0+5000, true)
+	if got := c.Finish(); got < t0+5000 {
+		t.Errorf("Finish() = %d, want >= %d", got, t0+5000)
+	}
+}
+
+func TestInstructionsCounted(t *testing.T) {
+	c := New(DefaultConfig)
+	c.Advance(123)
+	c.Advance(7)
+	if c.Instructions() != 130 {
+		t.Errorf("Instructions = %d, want 130", c.Instructions())
+	}
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	c := New(Config{})
+	c.Advance(600)
+	if ipc := c.IPC(); ipc < 5.5 || ipc > 6.5 {
+		t.Errorf("default-config IPC = %.2f, want ~6", ipc)
+	}
+}
+
+func TestStoresDoNotSerializeDependents(t *testing.T) {
+	// EndMem with isLoad=false must not update the dependence chain.
+	c := New(DefaultConfig)
+	c.Advance(1)
+	t0 := c.BeginMem(false)
+	c.EndMem(t0+10000, false) // a store with silly latency
+	c.Advance(1)
+	t1 := c.BeginMem(true)
+	if t1 >= t0+10000 {
+		t.Errorf("dependent op waited for a store: t1=%d", t1)
+	}
+}

@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"fmt"
+
+	"streamline/internal/core"
+	"streamline/internal/meta"
+)
+
+// This file regenerates Figure 14 (the component ablation) and Figure 15
+// (filtering coverage loss and its mitigations).
+
+// ablationVariants builds the Figure 14 arms: additions on top of
+// Streamline-unopt and removals from the complete design.
+func ablationVariants() []Arm {
+	mk := func(name string, mod func(*core.Options)) Arm {
+		return streamlineArm(name, "stride", "", mod)
+	}
+	unopt := func(o *core.Options) { *o = withScale(core.UnoptOptions(), *o) }
+	return []Arm{
+		triangelArm("triangel", "stride", "", nil),
+		mk("unopt", unopt),
+		mk("unopt+MB", func(o *core.Options) {
+			unopt(o)
+			o.MetaBufferSize = 3
+		}),
+		mk("unopt+SA", func(o *core.Options) {
+			unopt(o)
+			o.DisableAlignment = false // without a buffer, alignment has nothing to match
+		}),
+		mk("unopt+MB,SA", func(o *core.Options) {
+			unopt(o)
+			o.MetaBufferSize = 3
+			o.DisableAlignment = false
+		}),
+		mk("unopt+TSP", func(o *core.Options) {
+			unopt(o)
+			o.WayPartitioned = false
+			o.Unfiltered = false
+		}),
+		mk("unopt+TP-MJ", func(o *core.Options) {
+			unopt(o)
+			o.Policy = nil // TP-Mockingjay default
+		}),
+		mk("unopt+TSP,TP-MJ", func(o *core.Options) {
+			unopt(o)
+			o.WayPartitioned = false
+			o.Unfiltered = false
+			o.Policy = nil
+		}),
+		mk("full-MB,SA", func(o *core.Options) {
+			o.MetaBufferSize = 0
+			o.DisableAlignment = true
+		}),
+		mk("full-TSP", func(o *core.Options) {
+			o.WayPartitioned = true
+			o.Unfiltered = true
+		}),
+		mk("full-TP-MJ", func(o *core.Options) { o.Policy = meta.NewEntrySRRIP }),
+		mk("streamline", nil),
+	}
+}
+
+// withScale preserves the scale-dependent fields a runner injected into the
+// default options when replacing them with a variant preset.
+func withScale(preset, scaled core.Options) core.Options {
+	preset.MetaBytes = scaled.MetaBytes
+	preset.MinSets = scaled.MinSets
+	return preset
+}
+
+func init() {
+	register(Experiment{ID: "fig14", Title: "Component ablation",
+		Run: func(r *Runner) []Table {
+			t := Table{ID: "fig14", Title: "ablation: coverage / accuracy / speedup (irregular subset)",
+				Columns: []string{"arm", "coverage", "accuracy", "speedup"}}
+			base := baseArm("stride", "")
+			ws := r.Scale.irregular()
+			for _, arm := range ablationVariants() {
+				var cov, acc, spd []float64
+				for _, w := range ws {
+					b := r.Run(base, w.Name)
+					res := r.Run(arm, w.Name)
+					cov = append(cov, Coverage(b, res))
+					spd = append(spd, Speedup(b, res))
+					if res.Cores[0].L2.PrefetchFills > 0 {
+						acc = append(acc, Accuracy(res))
+					}
+				}
+				t.AddRow(arm.Name, Pct(Mean(cov)), Pct(Mean(acc)), F(Geomean(spd)))
+			}
+			t.Notes = append(t.Notes,
+				"paper: unopt alone beats Triangel's coverage by 7.6 pp; MB+SA and TSP+TP-MJ are synergistic pairs; removing any component costs performance")
+			return []Table{t}
+		}})
+
+	register(Experiment{ID: "fig15", Title: "Filtering coverage loss and mitigations",
+		Run: func(r *Runner) []Table {
+			t := Table{ID: "fig15", Title: "small partitions: filtering, realignment, skew, hybrid",
+				Columns: []string{"arm", "size", "coverage", "speedup", "filtered-inserts"}}
+			base := baseArm("stride", "")
+			ws := r.Scale.irregular()
+			mb := r.Scale.MetaBytes
+			for _, frac := range []int{2, 4} {
+				sz := mb / frac
+				variants := []Arm{
+					streamlineArm(fmt.Sprintf("unfiltered-%d", frac), "stride", "",
+						func(o *core.Options) { o.FixedBytes = sz; o.Unfiltered = true }),
+					streamlineArm(fmt.Sprintf("filtered-norealign-%d", frac), "stride", "",
+						func(o *core.Options) { o.FixedBytes = sz; o.DisableRealignment = true }),
+					streamlineArm(fmt.Sprintf("filtered-realign-%d", frac), "stride", "",
+						func(o *core.Options) { o.FixedBytes = sz }),
+					streamlineArm(fmt.Sprintf("skewed-%d", frac), "stride", "",
+						func(o *core.Options) { o.FixedBytes = sz; o.Skewed = true }),
+					streamlineArm(fmt.Sprintf("hybrid-%d", frac), "stride", "",
+						func(o *core.Options) { o.FixedBytes = sz; o.Hybrid = true }),
+				}
+				for _, arm := range variants {
+					var spd, cov []float64
+					var filtered uint64
+					for _, w := range ws {
+						b := r.Run(base, w.Name)
+						res := r.Run(arm, w.Name)
+						spd = append(spd, Speedup(b, res))
+						cov = append(cov, Coverage(b, res))
+						filtered += res.Cores[0].Meta.FilteredInserts
+					}
+					t.AddRow(arm.Name, fmt.Sprintf("%dKB", sz>>10),
+						Pct(Mean(cov)), F(Geomean(spd)), fmt.Sprint(filtered))
+				}
+			}
+			t.Notes = append(t.Notes,
+				"paper: realignment recoups 72-79% of filtering's loss; skewed indexing recovers it all; hybrid partitioning beats unfiltered at small sizes")
+			return []Table{t}
+		}})
+}

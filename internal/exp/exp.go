@@ -1,0 +1,419 @@
+// Package exp is the experiment harness: one runner per table and figure of
+// the paper's evaluation (see DESIGN.md's experiment index). Each runner
+// assembles the system configurations, drives the synthetic workloads, and
+// prints the same rows/series the paper reports, so `cmd/experiments -run
+// fig9` regenerates Figure 9's data.
+//
+// Two scales are provided: Small (scaled-down caches and footprints; runs in
+// seconds per arm, used by the benchmark harness) and Paper (the Table II
+// hierarchy with full footprints).
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"streamline/internal/core"
+	"streamline/internal/meta"
+	"streamline/internal/prefetch"
+	"streamline/internal/prefetch/berti"
+	"streamline/internal/prefetch/bingo"
+	"streamline/internal/prefetch/ipcp"
+	"streamline/internal/prefetch/spp"
+	"streamline/internal/prefetch/stride"
+	"streamline/internal/prefetch/triangel"
+	"streamline/internal/sim"
+	"streamline/internal/workloads"
+)
+
+// Scale fixes the experiment sizing so cache capacity and workload
+// footprints stay proportioned the way Table II and the SPEC/GAP footprints
+// are.
+type Scale struct {
+	Name      string
+	Footprint float64
+	L2Sets    int
+	LLCSets   int
+	// MetaBytes is the per-core maximum metadata partition (half the LLC).
+	MetaBytes int
+	// MinSets is Streamline's permanent metadata set floor.
+	MinSets int
+	Warmup  uint64
+	Measure uint64
+	// Workloads restricts the suite (nil: every registered workload).
+	Workloads []string
+	// MixCount is the number of multi-programmed mixes per core count.
+	MixCount int
+	// Bandwidth scales DRAM channel bandwidth. The small scale shrinks
+	// the caches 8x under a full-size core, which multiplies the miss
+	// rate; bandwidth must scale with it or every workload degenerates
+	// to bandwidth-bound and prefetching cannot help.
+	Bandwidth float64
+	// Seed makes every run reproducible.
+	Seed int64
+}
+
+// Small is the scaled-down sizing used by tests and benches: an 8x smaller
+// hierarchy with 10x smaller footprints, preserving the capacity ratios that
+// drive the paper's results.
+var Small = Scale{
+	Name:      "small",
+	Footprint: 0.1,
+	L2Sets:    128, // 64KB
+	LLCSets:   256, // 256KB/core
+	MetaBytes: 128 << 10,
+	MinSets:   16,
+	Warmup:    400_000,
+	Measure:   1_200_000,
+	Workloads: []string{
+		"sphinx06", "mcf06", "omnetpp06", "soplex06", "libquantum06", "bzip206",
+		"mcf17", "xz17", "lbm17", "gcc17",
+		"pr", "cc", "bfs", "sssp",
+	},
+	MixCount:  6,
+	Bandwidth: 4.0,
+	Seed:      12345,
+}
+
+// Paper is the Table II sizing with full synthetic footprints.
+var Paper = Scale{
+	Name:      "paper",
+	Footprint: 1.0,
+	L2Sets:    1024, // 512KB
+	LLCSets:   2048, // 2MB/core
+	MetaBytes: 1 << 20,
+	MinSets:   64,
+	Warmup:    4_000_000,
+	Measure:   12_000_000,
+	MixCount:  12,
+	Seed:      12345,
+}
+
+// workloadList resolves the scale's workload subset.
+func (sc Scale) workloadList() []workloads.Workload {
+	if sc.Workloads == nil {
+		return workloads.All()
+	}
+	out := make([]workloads.Workload, 0, len(sc.Workloads))
+	for _, n := range sc.Workloads {
+		w, err := workloads.Get(n)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+func (sc Scale) irregular() []workloads.Workload {
+	var out []workloads.Workload
+	for _, w := range sc.workloadList() {
+		if w.Irregular {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// baseConfig builds the system config for this scale.
+func (sc Scale) baseConfig(cores int) sim.Config {
+	cfg := sim.DefaultConfig(cores)
+	cfg.L2.Sets = sc.L2Sets
+	cfg.LLC.Sets = sc.LLCSets
+	cfg.WarmupInstructions = sc.Warmup
+	cfg.MeasureInstructions = sc.Measure
+	if sc.Bandwidth > 1 {
+		// Scale channel count, not burst time: the small hierarchy needs
+		// proportional bank-level parallelism too, or random-access
+		// workloads stay bank-throughput-bound no matter the bus speed.
+		cfg.DRAM.Channels *= int(sc.Bandwidth)
+	}
+	return cfg
+}
+
+// ---- arms ------------------------------------------------------------
+
+// Arm is one system configuration under test. Name must uniquely identify
+// the configuration: results are memoized by (arm, workload(s), cores).
+type Arm struct {
+	Name  string
+	Apply func(cfg *sim.Config, sc Scale)
+}
+
+func l1Factory(kind string) sim.PrefetcherFactory {
+	switch kind {
+	case "stride":
+		return func() prefetch.Prefetcher { return stride.New(stride.DefaultConfig) }
+	case "berti":
+		return func() prefetch.Prefetcher { return berti.New(berti.DefaultConfig) }
+	default:
+		return nil
+	}
+}
+
+func l2Factory(kind string) sim.PrefetcherFactory {
+	switch kind {
+	case "ipcp":
+		return func() prefetch.Prefetcher { return ipcp.New(ipcp.DefaultConfig) }
+	case "bingo":
+		return func() prefetch.Prefetcher { return bingo.New(bingo.DefaultConfig) }
+	case "spp":
+		return func() prefetch.Prefetcher { return spp.New(spp.DefaultConfig) }
+	default:
+		return nil
+	}
+}
+
+// baseArm is the no-temporal baseline with the given L1/L2 prefetchers.
+func baseArm(l1, l2 string) Arm {
+	name := "base"
+	if l1 != "" {
+		name += "+" + l1
+	}
+	if l2 != "" {
+		name += "+" + l2
+	}
+	return Arm{Name: name, Apply: func(cfg *sim.Config, sc Scale) {
+		cfg.L1DPrefetcher = l1Factory(l1)
+		cfg.L2Prefetcher = l2Factory(l2)
+	}}
+}
+
+// triangelArm builds a Triangel arm; mod may adjust the configuration and
+// must be reflected in name.
+func triangelArm(name, l1, l2 string, mod func(*triangel.Config)) Arm {
+	return Arm{Name: name, Apply: func(cfg *sim.Config, sc Scale) {
+		cfg.L1DPrefetcher = l1Factory(l1)
+		cfg.L2Prefetcher = l2Factory(l2)
+		cfg.Temporal = func(b meta.Bridge) prefetch.Prefetcher {
+			c := triangel.DefaultConfig()
+			c.MetaBytes = sc.MetaBytes
+			if mod != nil {
+				mod(&c)
+			}
+			return triangel.New(c, b)
+		}
+	}}
+}
+
+// streamlineArm builds a Streamline arm; mod may adjust the options and must
+// be reflected in name.
+func streamlineArm(name, l1, l2 string, mod func(*core.Options)) Arm {
+	return Arm{Name: name, Apply: func(cfg *sim.Config, sc Scale) {
+		cfg.L1DPrefetcher = l1Factory(l1)
+		cfg.L2Prefetcher = l2Factory(l2)
+		cfg.Temporal = func(b meta.Bridge) prefetch.Prefetcher {
+			o := core.DefaultOptions()
+			o.MetaBytes = sc.MetaBytes
+			o.MinSets = sc.MinSets
+			if mod != nil {
+				mod(&o)
+			}
+			return core.New(o, b)
+		}
+	}}
+}
+
+// ---- runner ------------------------------------------------------------
+
+// Runner executes arms with memoization so shared baselines are simulated
+// once per harness invocation.
+type Runner struct {
+	Scale    Scale
+	Progress io.Writer
+	memo     map[string]sim.Result
+}
+
+// NewRunner returns a runner at the given scale.
+func NewRunner(sc Scale) *Runner {
+	return &Runner{Scale: sc, memo: make(map[string]sim.Result)}
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Progress != nil {
+		fmt.Fprintf(r.Progress, format, args...)
+	}
+}
+
+// Run executes one arm on a single workload (1 core).
+func (r *Runner) Run(arm Arm, workload string) sim.Result {
+	return r.RunMix(arm, []string{workload}, 1, 0)
+}
+
+// RunMix executes one arm on a multi-programmed mix. bwFactor scales DRAM
+// bandwidth when nonzero (Figure 10c).
+func (r *Runner) RunMix(arm Arm, mix []string, cores int, bwFactor float64) sim.Result {
+	key := fmt.Sprintf("%s|%s|%d|%.3f", arm.Name, strings.Join(mix, ","), cores, bwFactor)
+	if res, ok := r.memo[key]; ok {
+		return res
+	}
+	cfg := r.Scale.baseConfig(cores)
+	if bwFactor > 0 {
+		cfg.DRAM = cfg.DRAM.ScaleBandwidth(bwFactor)
+	}
+	arm.Apply(&cfg, r.Scale)
+	sys := sim.New(cfg)
+	for c := 0; c < cores; c++ {
+		w, err := workloads.Get(mix[c%len(mix)])
+		if err != nil {
+			panic(err)
+		}
+		sys.SetTrace(c, w.NewTrace(workloads.Scale{Footprint: r.Scale.Footprint},
+			r.Scale.Seed+int64(c)))
+	}
+	r.logf("  [%s] %s x%d\n", arm.Name, strings.Join(mix, ","), cores)
+	res := sys.Run()
+	r.memo[key] = res
+	return res
+}
+
+// ---- metrics -------------------------------------------------------------
+
+// Speedup returns pf's IPC over base's (single-core).
+func Speedup(base, pf sim.Result) float64 {
+	if base.IPC() == 0 {
+		return 0
+	}
+	return pf.IPC() / base.IPC()
+}
+
+// ThroughputSpeedup returns the ratio of summed IPCs (multi-core).
+func ThroughputSpeedup(base, pf sim.Result) float64 {
+	var b, p float64
+	for i := range base.Cores {
+		b += base.Cores[i].IPC
+		p += pf.Cores[i].IPC
+	}
+	if b == 0 {
+		return 0
+	}
+	return p / b
+}
+
+// Coverage returns the fraction of the baseline's L2 demand misses that the
+// prefetching configuration removed.
+func Coverage(base, pf sim.Result) float64 {
+	bm := base.Cores[0].L2.DemandMisses
+	pm := pf.Cores[0].L2.DemandMisses
+	if bm == 0 || pm >= bm {
+		return 0
+	}
+	return float64(bm-pm) / float64(bm)
+}
+
+// Accuracy returns useful prefetches over prefetch fills at the L2.
+func Accuracy(res sim.Result) float64 { return res.Cores[0].PrefetchAccuracy() }
+
+// Geomean returns the geometric mean of xs (zero entries are floored).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			x = 1e-6
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// ---- tables ---------------------------------------------------------------
+
+// Table is a formatted experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row of pre-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// F formats a float for table cells.
+func F(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// Pct formats a ratio as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// ---- registry ---------------------------------------------------------------
+
+// Experiment is one reproducible table/figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(r *Runner) []Table
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,255 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"streamline/internal/core"
+	"streamline/internal/dram"
+	"streamline/internal/mem"
+	"streamline/internal/meta"
+	"streamline/internal/prefetch"
+	"streamline/internal/prefetch/stms"
+	"streamline/internal/prefetch/triage"
+	"streamline/internal/sim"
+	"streamline/internal/trace"
+	"streamline/internal/workloads"
+)
+
+// This file holds experiments beyond the paper's figures:
+//
+//   - "subset": the Section V-A3 methodology step that defines the paper's
+//     irregular subset — benchmarks with at least 5% headroom under an
+//     idealized Triage prefetcher given unlimited metadata.
+//   - "ext-bypass": the metadata bypass extension (the mechanism Section
+//     V-B1 says Streamline lacks, costing it mcf against Triangel).
+
+// idealHeadroom estimates a workload's temporal-prefetch headroom: the
+// fraction of its demand stream an unlimited-metadata Triage would cover.
+// It replays the trace through the ideal prefetcher functionally (no
+// timing), counting accesses whose line was predicted recently — a
+// prediction expires after a window, since a prefetch issued thousands of
+// accesses early would have been evicted long before its use.
+func idealHeadroom(w workloads.Workload, sc Scale, budget uint64) float64 {
+	const window = 1024
+	tr := trace.NewLimit(w.NewTrace(workloads.Scale{Footprint: sc.Footprint}, sc.Seed), budget)
+	ideal := triage.NewIdeal()
+	predicted := map[mem.Line]int{} // line -> expiry position
+	covered, total := 0, 0
+	var buf []prefetch.Request
+	i := 0
+	for {
+		rec, ok := tr.Next()
+		if !ok {
+			break
+		}
+		line := mem.LineOf(rec.Addr)
+		total++
+		if exp, ok := predicted[line]; ok {
+			if i <= exp {
+				covered++
+			}
+			delete(predicted, line)
+		}
+		buf = ideal.Train(prefetch.Event{Now: uint64(i), PC: rec.PC, Addr: rec.Addr}, buf[:0])
+		for _, r := range buf {
+			predicted[mem.LineOf(r.Addr)] = i + window
+		}
+		if i%(window*8) == 0 && len(predicted) > 64*1024 {
+			for l, exp := range predicted {
+				if exp < i {
+					delete(predicted, l)
+				}
+			}
+		}
+		i++
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(covered) / float64(total)
+}
+
+func init() {
+	register(Experiment{ID: "subset", Title: "Irregular subset definition (ideal Triage headroom)",
+		Run: func(r *Runner) []Table {
+			t := Table{ID: "subset",
+				Title:   "speedup headroom under unlimited-metadata Triage (>=5% defines the irregular subset)",
+				Columns: []string{"workload", "suite", "speedup-headroom", "ideal-coverage", "in-subset", "flagged-irregular"}}
+			base := baseArm("stride", "")
+			ideal := Arm{Name: "triage-ideal", Apply: func(cfg *sim.Config, sc Scale) {
+				cfg.L1DPrefetcher = l1Factory("stride")
+				cfg.Temporal = func(meta.Bridge) prefetch.Prefetcher { return triage.NewIdeal() }
+				cfg.DedicatedMetadata = true
+			}}
+			type row struct {
+				w      workloads.Workload
+				h, cov float64
+			}
+			var rows []row
+			for _, w := range r.Scale.workloadList() {
+				b := r.Run(base, w.Name)
+				h := Speedup(b, r.Run(ideal, w.Name)) - 1
+				rows = append(rows, row{w, h, idealHeadroom(w, r.Scale, 300_000)})
+			}
+			sort.Slice(rows, func(i, j int) bool { return rows[i].h > rows[j].h })
+			agree := 0
+			for _, rw := range rows {
+				in := rw.h >= 0.05
+				if in == rw.w.Irregular {
+					agree++
+				}
+				t.AddRow(rw.w.Name, string(rw.w.Suite), Pct(rw.h), Pct(rw.cov),
+					fmt.Sprint(in), fmt.Sprint(rw.w.Irregular))
+			}
+			t.AddRow("agreement", "", "", "", "", Pct(float64(agree)/float64(len(rows))))
+			t.Notes = append(t.Notes,
+				"Section V-A3's rule: >=5% speedup headroom under unlimited-metadata Triage",
+				"gather workloads (pr/cc/soplex) show NEGATIVE ideal-Triage headroom here: their hot triggers recur with different successors, which a pairwise format mispredicts into wasted bandwidth — the registry flags them irregular from their stream-based coverage (ideal-coverage column), the pattern Streamline exists to exploit")
+			return []Table{t}
+		}})
+
+	register(Experiment{ID: "ext-bypass", Title: "Extension: metadata bypass (the mcf fix)",
+		Run: func(r *Runner) []Table {
+			t := Table{ID: "ext-bypass",
+				Title:   "Streamline with/without scan bypassing on scan-heavy workloads",
+				Columns: []string{"workload", "triangel", "streamline", "streamline+bypass", "bypassed-inserts"}}
+			base := baseArm("stride", "")
+			tri := triangelArm("triangel", "stride", "", nil)
+			plain := streamlineArm("streamline", "stride", "", nil)
+			byp := streamlineArm("streamline+bypass", "stride", "",
+				func(o *core.Options) { o.Bypass = true })
+			// Scan-heavy mcf-likes plus one scan-free control.
+			names := []string{"mcf06", "mcf17", "sphinx06"}
+			for _, name := range names {
+				b := r.Run(base, name)
+				rt := Speedup(b, r.Run(tri, name))
+				rs := Speedup(b, r.Run(plain, name))
+				resB, sys := r.runWithSystem(byp, name)
+				rb := Speedup(b, resB)
+				var bypassed uint64
+				if p := streamlineOf(sys); p != nil {
+					bypassed = p.Stats.BypassedInserts
+				}
+				t.AddRow(name, F(rt), F(rs), F(rb), fmt.Sprint(bypassed))
+			}
+			t.Notes = append(t.Notes,
+				"Section V-B1: Triangel wins mcf only because it bypasses scan PCs; this extension gives Streamline the same protection")
+			return []Table{t}
+		}})
+}
+
+func init() {
+	register(Experiment{ID: "workloads", Title: "Workload suite characterization",
+		Run: func(r *Runner) []Table {
+			t := Table{ID: "workloads",
+				Title: "temporal structure of the synthetic suite (see internal/workloads)",
+				Columns: []string{"workload", "suite", "lines", "pcs", "multiplicity",
+					"pair-stability", "sequential", "dependent", "stores"}}
+			for _, w := range r.Scale.workloadList() {
+				a := workloads.Analyze(w, workloads.Scale{Footprint: r.Scale.Footprint},
+					r.Scale.Seed, 500_000)
+				t.AddRow(w.Name, string(w.Suite),
+					fmt.Sprint(a.FootprintLines), fmt.Sprint(a.PCs),
+					F(a.LineMultiplicity), Pct(a.PairStability),
+					Pct(a.SequentialFraction), Pct(a.DependentFraction),
+					Pct(a.StoreFraction))
+			}
+			t.Notes = append(t.Notes,
+				"pair stability bounds pairwise-format accuracy; multiplicity drives trigger ambiguity; dependent loads serialize and make coverage pay")
+			return []Table{t}
+		}})
+}
+
+func init() {
+	register(Experiment{ID: "ext-offchip", Title: "Extension: on-chip vs off-chip metadata (STMS baseline)",
+		Run: func(r *Runner) []Table {
+			t := Table{ID: "ext-offchip",
+				Title: "off-chip (STMS) vs on-chip (Triangel/Streamline) temporal prefetching",
+				Columns: []string{"workload", "stms", "triangel", "streamline",
+					"stms-offchip-blocks", "streamline-llc-blocks"}}
+			base := baseArm("stride", "")
+			tri := triangelArm("triangel", "stride", "", nil)
+			str := streamlineArm("streamline", "stride", "", nil)
+			for _, w := range r.Scale.irregular() {
+				b := r.Run(base, w.Name)
+				rt := Speedup(b, r.Run(tri, w.Name))
+				rs := Speedup(b, r.Run(str, w.Name))
+				resO, sys := r.runWithSystemOffchip(w.Name)
+				ro := Speedup(b, resO)
+				var offchip uint64
+				if p, ok := sys.TemporalOf(0).(*stms.Prefetcher); ok {
+					offchip = p.Stats.OffchipTraffic()
+				}
+				onchip := r.Run(str, w.Name).Cores[0].Meta.Traffic()
+				t.AddRow(w.Name, F(ro), F(rt), F(rs),
+					fmt.Sprint(offchip), fmt.Sprint(onchip))
+			}
+			t.Notes = append(t.Notes,
+				"Section II-A: off-chip temporal prefetchers spend DRAM bandwidth and latency on metadata; the on-chip designs confine it to the LLC")
+			return []Table{t}
+		}})
+
+	register(Experiment{ID: "ext-compression", Title: "Extension: Triage LUT compression accuracy cost",
+		Run: func(r *Runner) []Table {
+			t := Table{ID: "ext-compression",
+				Title:   "Triage with LUT-compressed vs uncompressed targets",
+				Columns: []string{"workload", "compressed", "lut-entries", "speedup", "accuracy"}}
+			base := baseArm("stride", "")
+			// LUT sizes relative to the workloads' region footprints
+			// (~15-60 of the 128KB regions at small scale): a 4-entry LUT
+			// recycles constantly, 16 occasionally, 2^20 never.
+			for _, lutSize := range []int{4, 16, 1 << 20} {
+				lutSize := lutSize
+				name := fmt.Sprintf("triage-lut%d", lutSize)
+				arm := Arm{Name: name, Apply: func(cfg *sim.Config, sc Scale) {
+					cfg.L1DPrefetcher = l1Factory("stride")
+					cfg.Temporal = func(b meta.Bridge) prefetch.Prefetcher {
+						c := triage.DefaultConfig()
+						c.MetaBytes = sc.MetaBytes
+						c.LUTSize = lutSize
+						return triage.New(c, b)
+					}
+				}}
+				var spd, acc []float64
+				for _, w := range r.Scale.irregular() {
+					b := r.Run(base, w.Name)
+					res := r.Run(arm, w.Name)
+					spd = append(spd, Speedup(b, res))
+					if res.Cores[0].L2.PrefetchFills > 0 {
+						acc = append(acc, Accuracy(res))
+					}
+				}
+				label := "tiny LUT (heavy recycling)"
+				switch lutSize {
+				case 16:
+					label = "moderate LUT"
+				case 1 << 20:
+					label = "effectively uncompressed"
+				}
+				t.AddRow(label, fmt.Sprint(lutSize != 1<<20), fmt.Sprint(lutSize),
+					F(Geomean(spd)), Pct(Mean(acc)))
+			}
+			t.Notes = append(t.Notes,
+				"Triangel's authors report LUT compression significantly reduces Triage's accuracy; LUT slot recycling silently redirects old correlations")
+			return []Table{t}
+		}})
+}
+
+// runWithSystemOffchip runs the STMS arm (no memoization; exposes the
+// system for its off-chip statistics).
+func (r *Runner) runWithSystemOffchip(workload string) (sim.Result, *sim.System) {
+	cfg := r.Scale.baseConfig(1)
+	cfg.L1DPrefetcher = l1Factory("stride")
+	cfg.TemporalDRAM = func(d *dram.DRAM) prefetch.Prefetcher {
+		return stms.New(stms.DefaultConfig(), d)
+	}
+	sys := sim.New(cfg)
+	w, err := workloads.Get(workload)
+	if err != nil {
+		panic(err)
+	}
+	sys.SetTrace(0, w.NewTrace(workloads.Scale{Footprint: r.Scale.Footprint}, r.Scale.Seed))
+	r.logf("  [stms] %s\n", workload)
+	return sys.Run(), sys
+}

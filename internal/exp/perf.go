@@ -1,0 +1,258 @@
+package exp
+
+import (
+	"fmt"
+
+	"streamline/internal/core"
+	"streamline/internal/prefetch/triangel"
+	"streamline/internal/workloads"
+)
+
+// This file regenerates the performance figures: Figure 9 (single-core),
+// Figure 10 (multi-core, bandwidth, coverage/accuracy, degree) and
+// Figure 11 (upper-level and L2 regular prefetchers).
+
+// the three standard arms over an L1 stride baseline
+func standardArms() (base, tri, str Arm) {
+	return baseArm("stride", ""),
+		triangelArm("triangel", "stride", "", nil),
+		streamlineArm("streamline", "stride", "", nil)
+}
+
+// suiteSpeedups runs the three arms across a workload list and returns a
+// table of per-workload and per-suite speedups.
+func suiteSpeedups(r *Runner, id, title string, ws []workloads.Workload, base, tri, str Arm) Table {
+	t := Table{ID: id, Title: title,
+		Columns: []string{"workload", "suite", "triangel", "streamline", "delta(pp)"}}
+	type group struct{ tri, str []float64 }
+	groups := map[workloads.Suite]*group{}
+	var allT, allS, irrT, irrS []float64
+	for _, w := range ws {
+		b := r.Run(base, w.Name)
+		rt := Speedup(b, r.Run(tri, w.Name))
+		rs := Speedup(b, r.Run(str, w.Name))
+		t.AddRow(w.Name, string(w.Suite), F(rt), F(rs), fmt.Sprintf("%+.1f", (rs-rt)*100))
+		g := groups[w.Suite]
+		if g == nil {
+			g = &group{}
+			groups[w.Suite] = g
+		}
+		g.tri = append(g.tri, rt)
+		g.str = append(g.str, rs)
+		allT, allS = append(allT, rt), append(allS, rs)
+		if w.Irregular {
+			irrT, irrS = append(irrT, rt), append(irrS, rs)
+		}
+	}
+	for _, suite := range []workloads.Suite{workloads.SPEC06, workloads.SPEC17, workloads.GAP} {
+		if g, ok := groups[suite]; ok {
+			t.AddRow("geomean-"+string(suite), "", F(Geomean(g.tri)), F(Geomean(g.str)),
+				fmt.Sprintf("%+.1f", (Geomean(g.str)-Geomean(g.tri))*100))
+		}
+	}
+	t.AddRow("geomean-irregular", "", F(Geomean(irrT)), F(Geomean(irrS)),
+		fmt.Sprintf("%+.1f", (Geomean(irrS)-Geomean(irrT))*100))
+	t.AddRow("geomean-all", "", F(Geomean(allT)), F(Geomean(allS)),
+		fmt.Sprintf("%+.1f", (Geomean(allS)-Geomean(allT))*100))
+	t.Notes = append(t.Notes,
+		"speedup over the baseline with an L1D stride prefetcher; paper Fig 9 reports Streamline 8.1% vs Triangel 5.1% (mem-intensive), 17% vs 11.5% (irregular)")
+	return t
+}
+
+func init() {
+	register(Experiment{ID: "fig9", Title: "Single-core speedup: Streamline vs Triangel",
+		Run: func(r *Runner) []Table {
+			base, tri, str := standardArms()
+			return []Table{suiteSpeedups(r, "fig9", "single-core speedups (L1 stride baseline)",
+				r.Scale.workloadList(), base, tri, str)}
+		}})
+
+	register(Experiment{ID: "fig10a", Title: "Multi-core speedup across core counts",
+		Run: func(r *Runner) []Table {
+			base, tri, str := standardArms()
+			t := Table{ID: "fig10a", Title: "multi-core throughput speedup",
+				Columns: []string{"cores", "triangel", "streamline", "delta(pp)"}}
+			for _, cores := range []int{2, 4, 8} {
+				mixCount := r.Scale.MixCount
+				if cores == 8 {
+					mixCount = max(2, mixCount/2)
+				}
+				mixes := workloads.Mixes(mixCount, cores, r.Scale.Seed)
+				var ts, ss []float64
+				for _, m := range mixes {
+					names := workloads.Names(m.Members)
+					b := r.RunMix(base, names, cores, 0)
+					ts = append(ts, ThroughputSpeedup(b, r.RunMix(tri, names, cores, 0)))
+					ss = append(ss, ThroughputSpeedup(b, r.RunMix(str, names, cores, 0)))
+				}
+				gt, gs := Geomean(ts), Geomean(ss)
+				t.AddRow(fmt.Sprint(cores), F(gt), F(gs), fmt.Sprintf("%+.1f", (gs-gt)*100))
+			}
+			t.Notes = append(t.Notes, "paper: Streamline wins by 7.2/6.9/6.7 pp at 2/4/8 cores")
+			return []Table{t}
+		}})
+
+	register(Experiment{ID: "fig10b", Title: "Per-mix win rate (4-core)",
+		Run: func(r *Runner) []Table {
+			base, tri, str := standardArms()
+			mixes := workloads.Mixes(r.Scale.MixCount, 4, r.Scale.Seed)
+			t := Table{ID: "fig10b", Title: "4-core mixes: Streamline vs Triangel",
+				Columns: []string{"mix", "triangel", "streamline", "winner"}}
+			wins := 0
+			for _, m := range mixes {
+				names := workloads.Names(m.Members)
+				b := r.RunMix(base, names, 4, 0)
+				st := ThroughputSpeedup(b, r.RunMix(tri, names, 4, 0))
+				ss := ThroughputSpeedup(b, r.RunMix(str, names, 4, 0))
+				winner := "triangel"
+				if ss >= st {
+					winner = "streamline"
+					wins++
+				}
+				t.AddRow(fmt.Sprintf("mix%02d", m.ID), F(st), F(ss), winner)
+			}
+			t.AddRow("win-rate", "", "", Pct(float64(wins)/float64(len(mixes))))
+			t.Notes = append(t.Notes, "paper: Streamline wins 77% of 4-core mixes")
+			return []Table{t}
+		}})
+
+	register(Experiment{ID: "fig10c", Title: "DRAM bandwidth sensitivity",
+		Run: func(r *Runner) []Table {
+			base, tri, str := standardArms()
+			mixes := workloads.Mixes(max(2, r.Scale.MixCount/2), 4, r.Scale.Seed)
+			t := Table{ID: "fig10c", Title: "speedup vs DRAM bandwidth (4-core)",
+				Columns: []string{"bandwidth", "triangel", "streamline", "delta(pp)"}}
+			for _, bw := range []float64{0.25, 0.5, 1.0, 2.0} {
+				var ts, ss []float64
+				for _, m := range mixes {
+					names := workloads.Names(m.Members)
+					b := r.RunMix(base, names, 4, bw)
+					ts = append(ts, ThroughputSpeedup(b, r.RunMix(tri, names, 4, bw)))
+					ss = append(ss, ThroughputSpeedup(b, r.RunMix(str, names, 4, bw)))
+				}
+				gt, gs := Geomean(ts), Geomean(ss)
+				t.AddRow(fmt.Sprintf("%.2fx", bw), F(gt), F(gs),
+					fmt.Sprintf("%+.1f", (gs-gt)*100))
+			}
+			t.Notes = append(t.Notes,
+				"paper: 1.1-2.7 pp margins at low bandwidth, 3-3.3 pp at moderate")
+			return []Table{t}
+		}})
+
+	register(Experiment{ID: "fig10de", Title: "Prefetch coverage and accuracy",
+		Run: func(r *Runner) []Table {
+			base, tri, str := standardArms()
+			t := Table{ID: "fig10de", Title: "L2 coverage / accuracy per workload",
+				Columns: []string{"workload", "tri-cov", "str-cov", "tri-acc", "str-acc"}}
+			var tc, sc, ta, sa []float64
+			for _, w := range r.Scale.workloadList() {
+				b := r.Run(base, w.Name)
+				rt := r.Run(tri, w.Name)
+				rs := r.Run(str, w.Name)
+				ct, cs := Coverage(b, rt), Coverage(b, rs)
+				at, as := Accuracy(rt), Accuracy(rs)
+				t.AddRow(w.Name, Pct(ct), Pct(cs), Pct(at), Pct(as))
+				tc, sc = append(tc, ct), append(sc, cs)
+				if rt.Cores[0].L2.PrefetchFills > 0 {
+					ta = append(ta, at)
+				}
+				if rs.Cores[0].L2.PrefetchFills > 0 {
+					sa = append(sa, as)
+				}
+			}
+			t.AddRow("mean", Pct(Mean(tc)), Pct(Mean(sc)), Pct(Mean(ta)), Pct(Mean(sa)))
+			t.Notes = append(t.Notes, "paper: Streamline +12.5 pp coverage, +3.6 pp accuracy")
+			return []Table{t}
+		}})
+
+	register(Experiment{ID: "fig10f", Title: "Prefetch degree sweep",
+		Run: func(r *Runner) []Table {
+			t := Table{ID: "fig10f", Title: "speedup vs max degree (irregular subset)",
+				Columns: []string{"degree", "triangel", "streamline"}}
+			ws := r.Scale.irregular()
+			base := baseArm("stride", "")
+			for _, deg := range []int{1, 2, 4, 8} {
+				deg := deg
+				tri := triangelArm(fmt.Sprintf("triangel-d%d", deg), "stride", "",
+					func(c *triangel.Config) { c.MaxDegree = deg })
+				str := streamlineArm(fmt.Sprintf("streamline-d%d", deg), "stride", "",
+					func(o *core.Options) {
+						o.MaxDegree = deg
+						o.DisableDegreeControl = true
+					})
+				var ts, ss []float64
+				for _, w := range ws {
+					b := r.Run(base, w.Name)
+					ts = append(ts, Speedup(b, r.Run(tri, w.Name)))
+					ss = append(ss, Speedup(b, r.Run(str, w.Name)))
+				}
+				t.AddRow(fmt.Sprint(deg), F(Geomean(ts)), F(Geomean(ss)))
+			}
+			t.Notes = append(t.Notes,
+				"paper: Triangel insensitive to degree; Streamline peaks at its stream length (4)")
+			return []Table{t}
+		}})
+
+	register(Experiment{ID: "fig11ab", Title: "With Berti in the L1D",
+		Run: func(r *Runner) []Table {
+			base := baseArm("berti", "")
+			tri := triangelArm("triangel+berti", "berti", "", nil)
+			str := streamlineArm("streamline+berti", "berti", "", nil)
+			single := suiteSpeedups(r, "fig11a", "single-core speedups (Berti L1D baseline)",
+				r.Scale.workloadList(), base, tri, str)
+			single.Notes = append(single.Notes,
+				"paper: Streamline 22% vs Triangel 20.1% vs Berti-only 19.1%")
+
+			multi := Table{ID: "fig11b", Title: "multi-core with Berti",
+				Columns: []string{"cores", "triangel", "streamline", "delta(pp)"}}
+			for _, cores := range []int{2, 4} {
+				mixes := workloads.Mixes(max(2, r.Scale.MixCount/2), cores, r.Scale.Seed)
+				var ts, ss []float64
+				for _, m := range mixes {
+					names := workloads.Names(m.Members)
+					b := r.RunMix(base, names, cores, 0)
+					ts = append(ts, ThroughputSpeedup(b, r.RunMix(tri, names, cores, 0)))
+					ss = append(ss, ThroughputSpeedup(b, r.RunMix(str, names, cores, 0)))
+				}
+				gt, gs := Geomean(ts), Geomean(ss)
+				multi.AddRow(fmt.Sprint(cores), F(gt), F(gs), fmt.Sprintf("%+.1f", (gs-gt)*100))
+			}
+			multi.Notes = append(multi.Notes,
+				"paper: with Berti, Triangel adds ~0 in multi-core; Streamline adds 3.8-4.1 pp")
+			return []Table{single, multi}
+		}})
+
+	register(Experiment{ID: "fig11cd", Title: "With L2 regular prefetchers",
+		Run: func(r *Runner) []Table {
+			t := Table{ID: "fig11c", Title: "speedup with L2 regular prefetchers (irregular subset)",
+				Columns: []string{"l2pf", "base", "triangel", "streamline"}}
+			cov := Table{ID: "fig11d", Title: "added coverage over the L2 prefetcher",
+				Columns: []string{"l2pf", "triangel", "streamline"}}
+			ws := r.Scale.irregular()
+			plain := baseArm("stride", "")
+			for _, l2 := range []string{"ipcp", "bingo", "spp"} {
+				base := baseArm("stride", l2)
+				tri := triangelArm("triangel+"+l2, "stride", l2, nil)
+				str := streamlineArm("streamline+"+l2, "stride", l2, nil)
+				var bs, ts, ss, tcov, scov []float64
+				for _, w := range ws {
+					p := r.Run(plain, w.Name)
+					b := r.Run(base, w.Name)
+					rt := r.Run(tri, w.Name)
+					rs := r.Run(str, w.Name)
+					bs = append(bs, Speedup(p, b))
+					ts = append(ts, Speedup(p, rt))
+					ss = append(ss, Speedup(p, rs))
+					tcov = append(tcov, Coverage(b, rt))
+					scov = append(scov, Coverage(b, rs))
+				}
+				t.AddRow(l2, F(Geomean(bs)), F(Geomean(ts)), F(Geomean(ss)))
+				cov.AddRow(l2, Pct(Mean(tcov)), Pct(Mean(scov)))
+			}
+			t.Notes = append(t.Notes,
+				"paper: Streamline beats Triangel by 1.1/2.4/1.0 pp over IPCP/Bingo/SPP-PPF")
+			cov.Notes = append(cov.Notes,
+				"paper: Streamline provides twice Triangel's additional coverage")
+			return []Table{t, cov}
+		}})
+}

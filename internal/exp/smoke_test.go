@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// microScale is as small as the experiments can meaningfully go: two
+// workloads, tiny instruction budgets. The smoke tests verify every runner
+// executes, produces non-empty tables, and emits parseable cells — the full
+// results come from cmd/experiments and the bench harness.
+func microScale() Scale {
+	sc := Small
+	sc.Workloads = []string{"sphinx06", "libquantum06"}
+	sc.Warmup = 40_000
+	sc.Measure = 120_000
+	sc.MixCount = 1
+	return sc
+}
+
+// fastExperiments are cheap enough to smoke-test on every `go test` run.
+var fastExperiments = []string{
+	"table1", "table2", "workloads", "subset",
+	"fig9", "fig10de", "fig12b", "fig13b", "ext-bypass",
+}
+
+func TestExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not -short")
+	}
+	for _, id := range fastExperiments {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %q missing", id)
+			}
+			r := NewRunner(microScale())
+			tables := e.Run(r)
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 {
+					t.Errorf("table %s has no rows", tb.ID)
+				}
+				if len(tb.Columns) == 0 {
+					t.Errorf("table %s has no columns", tb.ID)
+				}
+				out := tb.String()
+				if !strings.Contains(out, tb.ID) {
+					t.Errorf("rendered table missing its ID")
+				}
+				for _, row := range tb.Rows {
+					if len(row) > len(tb.Columns) {
+						t.Errorf("table %s row wider than header: %v", tb.ID, row)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestHeavyExperimentsRegistered(t *testing.T) {
+	// The heavy ones are exercised by the bench harness; here we just
+	// ensure they exist and carry titles.
+	for _, id := range []string{"fig10a", "fig10b", "fig10c", "fig10f",
+		"fig11ab", "fig11cd", "fig12a", "fig12c", "fig13a", "fig13c",
+		"fig14", "fig15"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Errorf("experiment %q missing", id)
+			continue
+		}
+		if e.Title == "" {
+			t.Errorf("experiment %q has no title", id)
+		}
+	}
+}

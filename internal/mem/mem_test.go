@@ -1,0 +1,115 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineGeometry(t *testing.T) {
+	tests := []struct {
+		addr Addr
+		line Line
+		off  uint64
+	}{
+		{0, 0, 0},
+		{63, 0, 63},
+		{64, 1, 0},
+		{65, 1, 1},
+		{4096, 64, 0},
+		{0xdeadbeef, 0xdeadbeef >> 6, 0xdeadbeef & 63},
+	}
+	for _, tt := range tests {
+		if got := LineOf(tt.addr); got != tt.line {
+			t.Errorf("LineOf(%#x) = %#x, want %#x", tt.addr, got, tt.line)
+		}
+		if got := Offset(tt.addr); got != tt.off {
+			t.Errorf("Offset(%#x) = %d, want %d", tt.addr, got, tt.off)
+		}
+	}
+}
+
+func TestAddrOfRoundTrip(t *testing.T) {
+	f := func(l uint64) bool {
+		line := Line(l & ((1 << 58) - 1))
+		return LineOf(AddrOf(line)) == line
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineOfIsMonotonicWithinLine(t *testing.T) {
+	f := func(a uint64, off uint8) bool {
+		base := Addr(a &^ (LineSize - 1) & ((1 << 60) - 1))
+		return LineOf(base) == LineOf(base+Addr(off%LineSize))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashLineWidth(t *testing.T) {
+	f := func(l uint64, nb uint8) bool {
+		bits := uint(nb%32) + 1
+		h := HashLine(Line(l), bits)
+		return h < 1<<bits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashLineDistribution(t *testing.T) {
+	// Hashing sequential lines into 10 bits should spread across most
+	// buckets; a badly mixed hash would concentrate.
+	seen := map[uint64]bool{}
+	for i := Line(0); i < 4096; i++ {
+		seen[HashLine(i, 10)] = true
+	}
+	if len(seen) < 900 {
+		t.Errorf("10-bit hash of 4096 sequential lines hit only %d buckets", len(seen))
+	}
+}
+
+func TestHashPCDeterminism(t *testing.T) {
+	if HashPC(0x401234, 8) != HashPC(0x401234, 8) {
+		t.Fatal("HashPC is not deterministic")
+	}
+	if HashPC(0x401234, 8) == HashPC(0x401235, 8) &&
+		HashPC(0x401234, 8) == HashPC(0x401236, 8) {
+		t.Error("HashPC maps three adjacent PCs to one value; poor mixing")
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	demand := []Kind{Load, Store, Ifetch}
+	for _, k := range demand {
+		if !k.IsDemand() {
+			t.Errorf("%v.IsDemand() = false, want true", k)
+		}
+		if k.IsMeta() {
+			t.Errorf("%v.IsMeta() = true, want false", k)
+		}
+	}
+	for _, k := range []Kind{Prefetch, Writeback, MetaRead, MetaWrite} {
+		if k.IsDemand() {
+			t.Errorf("%v.IsDemand() = true, want false", k)
+		}
+	}
+	for _, k := range []Kind{MetaRead, MetaWrite} {
+		if !k.IsMeta() {
+			t.Errorf("%v.IsMeta() = false, want true", k)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := Load; k <= MetaWrite; k++ {
+		if s := k.String(); s == "" {
+			t.Errorf("Kind(%d).String() empty", k)
+		}
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind should still stringify")
+	}
+}

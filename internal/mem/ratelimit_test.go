@@ -1,0 +1,84 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRateLimiterUnderCapacityIsFree(t *testing.T) {
+	r := RateLimiter{BucketCycles: 64, Capacity: 64}
+	for i := 0; i < 64; i++ {
+		if d := r.Charge(1000, 1); d != 0 {
+			t.Fatalf("charge %d delayed %d under capacity", i, d)
+		}
+	}
+	if d := r.Charge(1000, 1); d == 0 {
+		t.Error("overflow charge not delayed")
+	}
+}
+
+func TestRateLimiterSpillGrowsWithExcess(t *testing.T) {
+	r := RateLimiter{BucketCycles: 64, Capacity: 64}
+	for i := 0; i < 64; i++ {
+		r.Charge(0, 1)
+	}
+	d1 := r.Charge(0, 1)
+	d2 := r.Charge(0, 1)
+	if d2 <= d1 {
+		t.Errorf("spill delays not increasing: %d then %d", d1, d2)
+	}
+}
+
+func TestRateLimiterBucketsAreIndependentInTime(t *testing.T) {
+	r := RateLimiter{BucketCycles: 64, Capacity: 4}
+	// Saturate the bucket at t=0.
+	for i := 0; i < 10; i++ {
+		r.Charge(0, 1)
+	}
+	// A different (much later) bucket is unaffected.
+	if d := r.Charge(10_000, 1); d != 0 {
+		t.Errorf("later bucket delayed %d by earlier saturation", d)
+	}
+	// And returning to a reused slot after wraparound resets it.
+	if d := r.Charge(10_000+8*64, 1); d != 0 {
+		t.Errorf("wrapped bucket delayed %d", d)
+	}
+}
+
+func TestRateLimiterOutOfOrderTolerance(t *testing.T) {
+	r := RateLimiter{BucketCycles: 64, Capacity: 8}
+	// Future-stamped work lands in its own bucket.
+	for i := 0; i < 20; i++ {
+		r.Charge(100_000, 1)
+	}
+	// Earlier-stamped accesses in a different bucket are unaffected.
+	if d := r.Charge(500, 1); d != 0 {
+		t.Errorf("earlier access delayed %d by future work", d)
+	}
+}
+
+func TestRateLimiterVariableCosts(t *testing.T) {
+	r := RateLimiter{BucketCycles: 128, Capacity: 128}
+	if d := r.Charge(0, 100); d != 0 {
+		t.Errorf("first big charge delayed %d", d)
+	}
+	if d := r.Charge(0, 100); d == 0 {
+		t.Error("second big charge should spill")
+	}
+}
+
+func TestRateLimiterDelayNonNegativeProperty(t *testing.T) {
+	f := func(times []uint32, cost uint8) bool {
+		r := RateLimiter{BucketCycles: 64, Capacity: 64}
+		for _, tm := range times {
+			d := r.Charge(uint64(tm), uint64(cost%16)+1)
+			if d > 1<<32 {
+				return false // delays must stay bounded by accumulated work
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,106 @@
+package meta
+
+// EntryPolicy decides replacement among the entry slots of one metadata set.
+// Unlike cache-line replacement, victims are chosen among an arbitrary
+// candidate subset: partial-tag aliasing (tagged stores) and the two-level
+// index function (untagged stores) both constrain which slots an incoming
+// entry may occupy.
+//
+// Streamline's TP-Mockingjay implements this interface in internal/core; the
+// policies here are the baselines: entry-granularity LRU and the SRRIP that
+// Triangel uses for its metadata.
+type EntryPolicy interface {
+	// Name identifies the policy.
+	Name() string
+	// Touch records a lookup hit on a slot.
+	Touch(set, slot int, a EntryAccess)
+	// Fill records installation of a new entry in a slot.
+	Fill(set, slot int, a EntryAccess)
+	// Victim picks the slot to evict among candidates (all valid), given
+	// the incoming entry's access context.
+	Victim(set int, candidates []int, a EntryAccess) int
+	// Evict records invalidation of a slot.
+	Evict(set, slot int)
+}
+
+// EntryPolicyFactory builds an EntryPolicy for a store with the given
+// geometry (sets metadata sets, each with slots entry slots).
+type EntryPolicyFactory func(sets, slots int) EntryPolicy
+
+// ---------------------------------------------------------------- LRU
+
+type entryLRU struct {
+	stamp [][]uint64
+	clock uint64
+}
+
+// NewEntryLRU returns entry-granularity LRU.
+func NewEntryLRU(sets, slots int) EntryPolicy {
+	p := &entryLRU{stamp: make([][]uint64, sets)}
+	for i := range p.stamp {
+		p.stamp[i] = make([]uint64, slots)
+	}
+	return p
+}
+
+func (p *entryLRU) Name() string { return "entry-lru" }
+
+func (p *entryLRU) touch(set, slot int) {
+	p.clock++
+	p.stamp[set][slot] = p.clock
+}
+
+func (p *entryLRU) Touch(set, slot int, _ EntryAccess) { p.touch(set, slot) }
+func (p *entryLRU) Fill(set, slot int, _ EntryAccess)  { p.touch(set, slot) }
+func (p *entryLRU) Evict(set, slot int)                { p.stamp[set][slot] = 0 }
+
+func (p *entryLRU) Victim(set int, candidates []int, _ EntryAccess) int {
+	best := candidates[0]
+	for _, s := range candidates[1:] {
+		if p.stamp[set][s] < p.stamp[set][best] {
+			best = s
+		}
+	}
+	return best
+}
+
+// ---------------------------------------------------------------- SRRIP
+
+type entrySRRIP struct {
+	rrpv [][]uint8
+}
+
+const entryRRPVMax = 3
+
+// NewEntrySRRIP returns entry-granularity SRRIP, Triangel's metadata
+// replacement policy.
+func NewEntrySRRIP(sets, slots int) EntryPolicy {
+	p := &entrySRRIP{rrpv: make([][]uint8, sets)}
+	for i := range p.rrpv {
+		p.rrpv[i] = make([]uint8, slots)
+		for j := range p.rrpv[i] {
+			p.rrpv[i][j] = entryRRPVMax
+		}
+	}
+	return p
+}
+
+func (p *entrySRRIP) Name() string { return "entry-srrip" }
+
+func (p *entrySRRIP) Touch(set, slot int, _ EntryAccess) { p.rrpv[set][slot] = 0 }
+func (p *entrySRRIP) Fill(set, slot int, _ EntryAccess)  { p.rrpv[set][slot] = entryRRPVMax - 1 }
+func (p *entrySRRIP) Evict(set, slot int)                { p.rrpv[set][slot] = entryRRPVMax }
+
+func (p *entrySRRIP) Victim(set int, candidates []int, _ EntryAccess) int {
+	row := p.rrpv[set]
+	for {
+		for _, s := range candidates {
+			if row[s] >= entryRRPVMax {
+				return s
+			}
+		}
+		for _, s := range candidates {
+			row[s]++
+		}
+	}
+}

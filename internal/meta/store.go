@@ -1,0 +1,701 @@
+package meta
+
+import (
+	"fmt"
+
+	"streamline/internal/mem"
+)
+
+// EntryAccess is the context handed to entry policies on every store
+// operation: the correlation being accessed and the PC that produced it.
+type EntryAccess struct {
+	PC          mem.PC
+	Trigger     mem.Line
+	FirstTarget mem.Line
+}
+
+// StoreConfig describes a metadata store's format, partitioning scheme, and
+// host geometry. The Tagged/Filtered/SetPartitioned triple spans the eight
+// schemes of Table I.
+type StoreConfig struct {
+	// Format selects pairwise or stream entries.
+	Format Format
+	// StreamLength is the targets per entry for Stream format (ignored
+	// for pairwise formats, which always hold one).
+	StreamLength int
+
+	// Tagged stores locate entries with a tag check across every metadata
+	// way of the set (partial trigger tags spill into the LLC tag store);
+	// untagged stores select the way with a second-level hash, Triangel's
+	// two-level index function.
+	Tagged bool
+	// Filtered stores use the fixed index function of the maximum
+	// partition size and discard entries that map outside the current
+	// partition; unfiltered (rearranged) stores re-index on every resize
+	// and shuffle misplaced entries, generating LLC traffic.
+	Filtered bool
+	// SetPartitioned stores allocate whole LLC sets (MetaWaysPerSet ways
+	// in every 2^k-th set); way-partitioned stores allocate k ways of
+	// every set.
+	SetPartitioned bool
+	// Hybrid (set-partitioned only) shrinks by reducing both allocated
+	// sets and ways per set, halving the filtering rate at quarter sizes
+	// (Section V-D6).
+	Hybrid bool
+	// Skewed (filtered set-partitioned only) biases the trigger-to-set
+	// mapping toward sets that remain allocated at small partition sizes,
+	// reducing filtering (Section V-D6).
+	Skewed bool
+
+	// MetaWaysPerSet is the ways each allocated set dedicates to metadata
+	// (8 for Streamline; the resize ceiling for way-partitioned stores).
+	MetaWaysPerSet int
+	// PartialTagBits is the width of the trigger tag consulted for way
+	// aliasing: the 6 partial-tag bits Streamline spills into the LLC tag
+	// store plus the remaining trigger-hash bits kept inline with the
+	// entry. Entries matching on all of it must share a way; Section V-D5
+	// reports 3.8%% of correlations alias at this width.
+	PartialTagBits int
+	// TriggerHashBits is the width of the hashed trigger match (10 in
+	// Triage/Triangel/Streamline); aliases cause mispredictions.
+	TriggerHashBits int
+	// MaxBytes is the maximum partition size, fixing the filtered index
+	// function.
+	MaxBytes int
+	// Policy builds the entry replacement policy; nil defaults to LRU.
+	Policy EntryPolicyFactory
+}
+
+type slot struct {
+	valid   bool
+	conf    bool   // confidence bit: targets confirmed by a repeat store
+	hash    uint32 // hashed trigger tag (TriggerHashBits wide)
+	partial uint16 // partial tag stored in the LLC tag array
+	trigger mem.Line
+	targets []mem.Line
+	pc      mem.PC
+}
+
+// Store is a partitionable on-chip metadata store hosted by the LLC.
+type Store struct {
+	cfg    StoreConfig
+	bridge Bridge
+
+	llcSets, llcWays int
+	epb              int // entries per 64B block
+	metaSets         int // logical metadata sets
+	maxWays          int // ways per set at maximum size
+
+	// Current partition state.
+	curBytes   int
+	curWays    int // ways in use per allocated set
+	curSpacing int // set-partitioned: every curSpacing-th logical set is live
+	maxSpacing int
+
+	slots [][]slot // [logical set][way*epb+idx]
+	pol   EntryPolicy
+
+	Stats Stats
+}
+
+// NewStore builds a store at its maximum partition size.
+func NewStore(cfg StoreConfig, bridge Bridge) *Store {
+	llcSets, llcWays := bridge.Geometry()
+	if cfg.MetaWaysPerSet <= 0 || cfg.MetaWaysPerSet > llcWays {
+		cfg.MetaWaysPerSet = llcWays / 2
+	}
+	if cfg.StreamLength <= 0 {
+		cfg.StreamLength = 1
+	}
+	if cfg.PartialTagBits <= 0 {
+		cfg.PartialTagBits = 10
+	}
+	if cfg.TriggerHashBits <= 0 {
+		cfg.TriggerHashBits = 10
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = NewEntryLRU
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = llcSets * cfg.MetaWaysPerSet * mem.LineSize
+	}
+
+	s := &Store{
+		cfg:     cfg,
+		bridge:  bridge,
+		llcSets: llcSets,
+		llcWays: llcWays,
+		epb:     EntriesPerBlock(cfg.Format, cfg.StreamLength),
+	}
+	maxBlocks := cfg.MaxBytes / mem.LineSize
+	if cfg.SetPartitioned {
+		s.maxWays = cfg.MetaWaysPerSet
+		s.metaSets = maxBlocks / s.maxWays
+		if s.metaSets > llcSets {
+			s.metaSets = llcSets
+		}
+		if s.metaSets < 1 {
+			s.metaSets = 1
+		}
+		s.maxSpacing = llcSets / s.metaSets
+	} else {
+		s.metaSets = llcSets
+		s.maxWays = maxBlocks / llcSets
+		if s.maxWays > cfg.MetaWaysPerSet {
+			s.maxWays = cfg.MetaWaysPerSet
+		}
+		if s.maxWays < 1 {
+			s.maxWays = 1
+		}
+		s.maxSpacing = 1
+	}
+	s.slots = make([][]slot, s.metaSets)
+	for i := range s.slots {
+		s.slots[i] = make([]slot, s.maxWays*s.epb)
+	}
+	s.pol = cfg.Policy(s.metaSets, s.maxWays*s.epb)
+	s.applySize(s.maxBytes(), true)
+	return s
+}
+
+func (s *Store) maxBytes() int {
+	if s.cfg.SetPartitioned {
+		return s.metaSets * s.maxWays * mem.LineSize
+	}
+	return s.llcSets * s.maxWays * mem.LineSize
+}
+
+// Config returns the store's configuration.
+func (s *Store) Config() StoreConfig { return s.cfg }
+
+// SizeBytes returns the current partition size.
+func (s *Store) SizeBytes() int { return s.curBytes }
+
+// CapacityCorrelations returns how many correlations the current partition
+// can hold.
+func (s *Store) CapacityCorrelations() int {
+	blocks := s.curBytes / mem.LineSize
+	return blocks * CorrelationsPerBlock(s.cfg.Format, s.cfg.StreamLength)
+}
+
+// StreamLength returns the configured targets per entry.
+func (s *Store) StreamLength() int { return s.cfg.StreamLength }
+
+// The store derives its several index functions from disjoint bit ranges
+// of one 64-bit line hash: bits [0,22) index the set, [22,32) form the
+// hashed trigger tag, [32,38+) the partial tag, [48,58) the second-level
+// way index, and [58,60) drive skewed indexing.
+func (s *Store) triggerHash(t mem.Line) uint32 {
+	return uint32(mem.HashLine64(t)>>22) & (1<<uint(s.cfg.TriggerHashBits) - 1)
+}
+
+func (s *Store) partialTag(t mem.Line) uint16 {
+	// A different bit slice than the trigger hash, as the partial tag
+	// lives in the LLC tag store.
+	return uint16(mem.HashLine64(t)>>32) & (1<<uint(s.cfg.PartialTagBits) - 1)
+}
+
+// logicalSet maps a trigger to its logical metadata set under the FIXED
+// maximum-size index function.
+func (s *Store) logicalSet(t mem.Line) int {
+	h := mem.HashLine64(t)
+	set := int((h & (1<<22 - 1)) % uint64(s.metaSets))
+	if s.cfg.Skewed {
+		// Bias toward logical sets that survive shrinking: clear 0, 1 or 2
+		// low set-index bits with equal probability, overweighting sets
+		// divisible by larger powers of two.
+		k := (h >> 58) % 3
+		set &^= int(1<<k) - 1
+	}
+	return set
+}
+
+// LogicalSetOf exposes the fixed trigger-to-set index function for
+// components that sample trigger locality (the dynamic partitioners).
+func (s *Store) LogicalSetOf(t mem.Line) int { return s.logicalSet(t) }
+
+// setLive reports whether a logical set is inside the current partition.
+func (s *Store) setLive(logical int) bool {
+	if !s.cfg.SetPartitioned {
+		return s.curWays > 0
+	}
+	if s.curWays == 0 {
+		return false
+	}
+	step := s.curSpacing / s.maxSpacing
+	if step < 1 {
+		step = 1
+	}
+	return logical%step == 0
+}
+
+// currentSet maps a trigger to the logical set it occupies under the
+// CURRENT index function (rearranged stores re-index on resize; filtered
+// stores always use logicalSet and may filter).
+func (s *Store) currentSet(t mem.Line) (logical int, live bool) {
+	logical = s.logicalSet(t)
+	if s.cfg.Filtered {
+		return logical, s.setLive(logical)
+	}
+	if !s.cfg.SetPartitioned {
+		return logical, s.curWays > 0
+	}
+	// Rearranged set-partitioning: compress the index space onto the live
+	// sets so nothing is filtered — at the price of re-indexing on resize.
+	step := s.curSpacing / s.maxSpacing
+	if step < 1 {
+		step = 1
+	}
+	liveSets := s.metaSets / step
+	if liveSets < 1 {
+		return logical, false
+	}
+	return (logical % liveSets) * step, s.curWays > 0
+}
+
+// wayOf returns the way an entry must occupy for untagged stores under the
+// current (rearranged) or maximum (filtered) way-index function, and
+// whether the trigger is filtered out (filtered way-partitioning).
+func (s *Store) wayOf(t mem.Line) (way int, live bool) {
+	h := int(mem.HashLine64(t) >> 48 & (1<<10 - 1))
+	if s.cfg.Filtered {
+		way = h % s.maxWays
+		return way, way < s.curWays
+	}
+	if s.curWays == 0 {
+		return 0, false
+	}
+	return h % s.curWays, true
+}
+
+// candidates returns the slot indices the trigger's entry may occupy within
+// its logical set, honoring the two-level index (untagged) or partial-tag
+// aliasing (tagged). It also reports whether aliasing constrained a tagged
+// placement.
+func (s *Store) candidates(set int, t mem.Line) (cand []int, aliased bool, live bool) {
+	if !s.cfg.Tagged {
+		way, ok := s.wayOf(t)
+		if !ok {
+			return nil, false, false
+		}
+		if way >= s.curWays {
+			return nil, false, false
+		}
+		base := way * s.epb
+		cand = make([]int, s.epb)
+		for i := range cand {
+			cand[i] = base + i
+		}
+		return cand, false, true
+	}
+	// Tagged: any live way, but an existing entry with the same partial
+	// tag pins the incoming entry to its way.
+	pt := s.partialTag(t)
+	aliasWay := -1
+	for w := 0; w < s.curWays; w++ {
+		for i := 0; i < s.epb; i++ {
+			sl := &s.slots[set][w*s.epb+i]
+			if sl.valid && sl.partial == pt && sl.trigger != t {
+				aliasWay = w
+				break
+			}
+		}
+		if aliasWay >= 0 {
+			break
+		}
+	}
+	if aliasWay >= 0 {
+		base := aliasWay * s.epb
+		cand = make([]int, s.epb)
+		for i := range cand {
+			cand[i] = base + i
+		}
+		return cand, true, true
+	}
+	cand = make([]int, s.curWays*s.epb)
+	for i := range cand {
+		cand[i] = i
+	}
+	return cand, false, true
+}
+
+// WouldFilter reports whether an entry with the given trigger would be
+// discarded by filtered indexing at the current partition size. Streamline's
+// training unit uses this to realign streams before inserting.
+func (s *Store) WouldFilter(t mem.Line) bool {
+	if !s.cfg.Filtered {
+		return false
+	}
+	logical := s.logicalSet(t)
+	if !s.setLive(logical) {
+		return true
+	}
+	if !s.cfg.Tagged && !s.cfg.SetPartitioned {
+		_, ok := s.wayOf(t)
+		return !ok
+	}
+	return false
+}
+
+// Lookup searches the store for the trigger's entry at cycle now, charging
+// one LLC metadata read unless filtered indexing proves statically that the
+// trigger cannot be present. It returns the entry, whether it was found, and
+// the lookup latency.
+func (s *Store) Lookup(now uint64, pc mem.PC, t mem.Line) (Entry, bool, uint64) {
+	s.Stats.Lookups++
+	set, live := s.currentSet(t)
+	if !live {
+		s.Stats.FilteredLookups++
+		return Entry{}, false, 0
+	}
+	cand, _, ok := s.candidates(set, t)
+	if !ok {
+		s.Stats.FilteredLookups++
+		return Entry{}, false, 0
+	}
+	lat := s.bridge.MetaAccess(now, mem.MetaRead)
+	s.Stats.Reads++
+	h := s.triggerHash(t)
+	for _, idx := range cand {
+		sl := &s.slots[set][idx]
+		if sl.valid && sl.hash == h {
+			s.Stats.TriggerHits++
+			s.pol.Touch(set, idx, EntryAccess{PC: pc, Trigger: t, FirstTarget: sl.targets[0]})
+			out := Entry{Trigger: sl.trigger, Targets: append([]mem.Line(nil), sl.targets...), Conf: sl.conf}
+			return out, true, lat
+		}
+	}
+	return Entry{}, false, lat
+}
+
+// Insert writes an entry at cycle now, charging one LLC metadata write
+// unless the entry is filtered. It returns the write latency and the
+// entry's resulting confidence bit (true when this store confirmed an
+// identical previous entry).
+func (s *Store) Insert(now uint64, pc mem.PC, e Entry) (uint64, bool) {
+	if !e.Valid() {
+		return 0, false
+	}
+	set, live := s.currentSet(e.Trigger)
+	if !live {
+		s.Stats.FilteredInserts++
+		return 0, false
+	}
+	cand, aliased, ok := s.candidates(set, e.Trigger)
+	if !ok {
+		s.Stats.FilteredInserts++
+		return 0, false
+	}
+	if aliased {
+		s.Stats.AliasedInserts++
+	}
+	acc := EntryAccess{PC: pc, Trigger: e.Trigger, FirstTarget: e.Targets[0]}
+	h := s.triggerHash(e.Trigger)
+
+	// In-place update of an existing entry for this trigger. The
+	// confidence bit confirms on identical targets and clears otherwise.
+	for _, idx := range cand {
+		sl := &s.slots[set][idx]
+		if sl.valid && sl.hash == h {
+			same := len(sl.targets) == len(e.Targets)
+			if same {
+				for i := range sl.targets {
+					if sl.targets[i] != e.Targets[i] {
+						same = false
+						break
+					}
+				}
+			}
+			s.storeInto(set, idx, e, pc)
+			s.slots[set][idx].conf = same
+			s.pol.Touch(set, idx, acc)
+			s.Stats.Updates++
+			lat := s.bridge.MetaAccess(now, mem.MetaWrite)
+			s.Stats.Writes++
+			return lat, same
+		}
+	}
+	// Free slot, else victim.
+	target := -1
+	for _, idx := range cand {
+		if !s.slots[set][idx].valid {
+			target = idx
+			break
+		}
+	}
+	if target < 0 {
+		target = s.pol.Victim(set, cand, acc)
+		s.pol.Evict(set, target)
+		s.Stats.Evictions++
+	}
+	s.storeInto(set, target, e, pc)
+	s.pol.Fill(set, target, acc)
+	s.Stats.Inserts++
+	lat := s.bridge.MetaAccess(now, mem.MetaWrite)
+	s.Stats.Writes++
+	return lat, false
+}
+
+func (s *Store) storeInto(set, idx int, e Entry, pc mem.PC) {
+	sl := &s.slots[set][idx]
+	k := s.cfg.StreamLength
+	if s.cfg.Format != Stream {
+		k = 1
+	}
+	targets := sl.targets
+	if cap(targets) < k {
+		targets = make([]mem.Line, 0, k)
+	}
+	targets = targets[:0]
+	for i := 0; i < k && i < len(e.Targets); i++ {
+		targets = append(targets, e.Targets[i])
+	}
+	*sl = slot{
+		valid:   true,
+		hash:    s.triggerHash(e.Trigger),
+		partial: s.partialTag(e.Trigger),
+		trigger: e.Trigger,
+		targets: targets,
+		pc:      pc,
+	}
+}
+
+// Resize changes the partition to newBytes (rounded down to the scheme's
+// granularity), rearranging or dropping entries per the configuration and
+// updating the host LLC's way reservations. It returns the number of blocks
+// of shuffle traffic generated (already recorded in Stats).
+func (s *Store) Resize(newBytes int) uint64 {
+	s.Stats.Resizes++
+	return s.applySize(newBytes, false)
+}
+
+// applySize computes the new geometry and migrates contents. initial
+// suppresses rearrangement accounting for the first call from NewStore.
+func (s *Store) applySize(newBytes int, initial bool) uint64 {
+	maxB := s.maxBytes()
+	if newBytes > maxB {
+		newBytes = maxB
+	}
+	if newBytes < 0 {
+		newBytes = 0
+	}
+	oldWays, oldSpacing := s.curWays, s.curSpacing
+
+	blocks := newBytes / mem.LineSize
+	if s.cfg.SetPartitioned {
+		s.curWays = s.maxWays
+		spacingFactor := 1
+		if blocks > 0 {
+			liveSets := blocks / s.maxWays
+			if liveSets < 1 {
+				liveSets = 1
+			}
+			if liveSets > s.metaSets {
+				liveSets = s.metaSets
+			}
+			spacingFactor = s.metaSets / liveSets
+			if s.cfg.Hybrid && spacingFactor > 1 {
+				// Split the shrink factor between sets and ways as evenly
+				// as possible: a quarter-size store halves both.
+				wayFactor := 1
+				for spacingFactor > wayFactor*2 && s.curWays > 1 {
+					spacingFactor /= 2
+					wayFactor *= 2
+					s.curWays /= 2
+				}
+			}
+		} else {
+			s.curWays = 0
+		}
+		s.curSpacing = s.maxSpacing * spacingFactor
+	} else {
+		s.curWays = blocks / s.llcSets
+		if s.curWays > s.maxWays {
+			s.curWays = s.maxWays
+		}
+		s.curSpacing = 1
+	}
+	s.curBytes = s.currentBytes()
+
+	var traffic uint64
+	if !initial && (s.curWays != oldWays || s.curSpacing != oldSpacing) {
+		traffic = s.migrate(oldWays, oldSpacing)
+	}
+	s.updateReservations()
+	return traffic
+}
+
+func (s *Store) currentBytes() int {
+	if s.cfg.SetPartitioned {
+		step := s.curSpacing / s.maxSpacing
+		if step < 1 {
+			step = 1
+		}
+		if s.curWays == 0 {
+			return 0
+		}
+		return s.metaSets / step * s.curWays * mem.LineSize
+	}
+	return s.llcSets * s.curWays * mem.LineSize
+}
+
+// migrate re-validates every resident entry against the new geometry.
+// Filtered stores drop entries that fall outside the partition (no
+// traffic); rearranged stores move misplaced entries and pay for the
+// blocks they touch.
+func (s *Store) migrate(oldWays, oldSpacing int) uint64 {
+	type moved struct {
+		e  Entry
+		pc mem.PC
+	}
+	var toMove []moved
+	var movedBlocksOut uint64
+
+	for set := range s.slots {
+		setLiveNow := s.setLive(set) || !s.cfg.SetPartitioned
+		blockDirty := make(map[int]bool)
+		for idx := range s.slots[set] {
+			sl := &s.slots[set][idx]
+			if !sl.valid {
+				continue
+			}
+			way := idx / s.epb
+			keep := setLiveNow && way < s.curWays
+			if keep && !s.cfg.Filtered {
+				// Rearranged: does the index function still place the
+				// entry here?
+				nset, nlive := s.currentSet(sl.trigger)
+				if !nlive {
+					keep = false
+				} else if nset != set {
+					keep = false
+				} else if !s.cfg.Tagged {
+					nway, wlive := s.wayOf(sl.trigger)
+					if !wlive || nway != way {
+						keep = false
+					}
+				}
+			} else if keep && s.cfg.Filtered {
+				// Filtered: fixed index function; entries are never
+				// misplaced, but a shrink can deallocate their set/way.
+				if s.cfg.SetPartitioned {
+					keep = s.setLive(set)
+				} else if !s.cfg.Tagged {
+					nway, wlive := s.wayOf(sl.trigger)
+					keep = wlive && nway == way && way < s.curWays
+				} else {
+					keep = way < s.curWays
+				}
+			}
+			if keep {
+				continue
+			}
+			if !s.cfg.Filtered {
+				// Rearranged stores relocate the entry.
+				toMove = append(toMove, moved{
+					e:  Entry{Trigger: sl.trigger, Targets: append([]mem.Line(nil), sl.targets...)},
+					pc: sl.pc,
+				})
+				blockDirty[way] = true
+			} else {
+				s.Stats.DroppedResize++
+			}
+			s.pol.Evict(set, idx)
+			*sl = slot{}
+		}
+		movedBlocksOut += uint64(len(blockDirty))
+	}
+
+	var movedBlocksIn uint64
+	if len(toMove) > 0 {
+		// Reinsert without charging normal insert traffic; count shuffle
+		// blocks instead.
+		saveReads, saveWrites := s.Stats.Reads, s.Stats.Writes
+		saveIns, saveUpd, saveEvict := s.Stats.Inserts, s.Stats.Updates, s.Stats.Evictions
+		saveFilt, saveAlias := s.Stats.FilteredInserts, s.Stats.AliasedInserts
+		for _, m := range toMove {
+			s.Insert(0, m.pc, m.e)
+		}
+		s.Stats.Reads, s.Stats.Writes = saveReads, saveWrites
+		s.Stats.Inserts, s.Stats.Updates, s.Stats.Evictions = saveIns, saveUpd, saveEvict
+		s.Stats.FilteredInserts, s.Stats.AliasedInserts = saveFilt, saveAlias
+		movedBlocksIn = uint64((len(toMove) + s.epb - 1) / s.epb)
+	}
+
+	s.Stats.RearrangeReads += movedBlocksOut
+	s.Stats.RearrangeWrites += movedBlocksIn
+	return movedBlocksOut + movedBlocksIn
+}
+
+// updateReservations pushes the current partition shape into the host LLC.
+func (s *Store) updateReservations() {
+	if s.cfg.SetPartitioned {
+		step := s.curSpacing / s.maxSpacing
+		if step < 1 {
+			step = 1
+		}
+		for logical := 0; logical < s.metaSets; logical++ {
+			phys := logical * s.maxSpacing
+			ways := 0
+			if s.curWays > 0 && logical%step == 0 {
+				ways = s.curWays
+			}
+			s.bridge.ReserveWays(phys, ways)
+		}
+		return
+	}
+	llcSets, _ := s.bridge.Geometry()
+	for set := 0; set < llcSets; set++ {
+		s.bridge.ReserveWays(set, s.curWays)
+	}
+}
+
+// Occupancy returns the number of valid entries (diagnostics).
+func (s *Store) Occupancy() int {
+	n := 0
+	for set := range s.slots {
+		for idx := range s.slots[set] {
+			if s.slots[set][idx].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// SchemeName returns the Table I mnemonic for the store's partitioning
+// configuration, e.g. "FTS" for filtered tagged set-partitioning.
+func (s *Store) SchemeName() string {
+	r := "R"
+	if s.cfg.Filtered {
+		r = "F"
+	}
+	t := "U"
+	if s.cfg.Tagged {
+		t = "T"
+	}
+	w := "W"
+	if s.cfg.SetPartitioned {
+		w = "S"
+	}
+	return fmt.Sprintf("%s%s%s", r, t, w)
+}
+
+// DumpEntries returns a copy of every resident entry, for offline analyses
+// such as the Figure 12b redundancy measurement.
+func (s *Store) DumpEntries() []Entry {
+	var out []Entry
+	for set := range s.slots {
+		for idx := range s.slots[set] {
+			sl := &s.slots[set][idx]
+			if !sl.valid {
+				continue
+			}
+			out = append(out, Entry{
+				Trigger: sl.trigger,
+				Targets: append([]mem.Line(nil), sl.targets...),
+			})
+		}
+	}
+	return out
+}

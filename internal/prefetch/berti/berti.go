@@ -1,0 +1,160 @@
+// Package berti implements the Berti L1D prefetcher (Navarro-Torres et al.,
+// MICRO 2022): for each load PC it learns the local deltas that would have
+// been *timely* — deltas from accesses old enough that a prefetch issued
+// then would have beaten the current demand — and issues the high-coverage
+// ones. Berti is the aggressive L1D baseline of Figure 11a/b.
+package berti
+
+import (
+	"streamline/internal/mem"
+	"streamline/internal/prefetch"
+)
+
+// Config parameterizes Berti.
+type Config struct {
+	// TableSize is the number of tracked PCs.
+	TableSize int
+	// HistoryLen is the per-PC access history depth.
+	HistoryLen int
+	// MaxDeltas is how many candidate deltas each PC scores.
+	MaxDeltas int
+	// TimelyCycles is the fill latency a delta must beat to count as
+	// timely (roughly the L2/LLC round trip).
+	TimelyCycles uint64
+	// IssueThreshold is the minimum coverage score (0..63) to prefetch a
+	// delta.
+	IssueThreshold int
+	// MaxIssue bounds prefetches per access.
+	MaxIssue int
+}
+
+// DefaultConfig returns a configuration matching the paper's setup.
+var DefaultConfig = Config{
+	TableSize:      256,
+	HistoryLen:     16,
+	MaxDeltas:      8,
+	TimelyCycles:   60,
+	IssueThreshold: 30,
+	MaxIssue:       4,
+}
+
+type histEntry struct {
+	line mem.Line
+	at   uint64
+}
+
+type deltaScore struct {
+	delta int64
+	score int // saturating 0..63
+}
+
+type entry struct {
+	tag    uint32
+	valid  bool
+	hist   []histEntry
+	histN  int
+	deltas []deltaScore
+	seen   int // accesses since last score decay
+}
+
+// Prefetcher is the Berti local-delta prefetcher.
+type Prefetcher struct {
+	cfg   Config
+	table []entry
+}
+
+// New returns a Berti instance.
+func New(cfg Config) *Prefetcher {
+	if cfg.TableSize <= 0 {
+		cfg = DefaultConfig
+	}
+	return &Prefetcher{cfg: cfg, table: make([]entry, cfg.TableSize)}
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "berti" }
+
+// Train implements prefetch.Prefetcher.
+func (p *Prefetcher) Train(ev prefetch.Event, out []prefetch.Request) []prefetch.Request {
+	line := ev.Line()
+	idx := int(mem.HashPC(ev.PC, 16)) % len(p.table)
+	tag := uint32(mem.HashPC(ev.PC, 24))
+	e := &p.table[idx]
+	if !e.valid || e.tag != tag {
+		*e = entry{
+			tag: tag, valid: true,
+			hist:   make([]histEntry, p.cfg.HistoryLen),
+			deltas: make([]deltaScore, 0, p.cfg.MaxDeltas),
+		}
+	}
+
+	// Score deltas against history entries old enough to have been timely
+	// launch points for this access.
+	for i := 0; i < e.histN; i++ {
+		h := e.hist[i]
+		if ev.Now-h.at < p.cfg.TimelyCycles {
+			continue
+		}
+		d := int64(line) - int64(h.line)
+		if d == 0 {
+			continue
+		}
+		e.bump(d, p.cfg.MaxDeltas)
+	}
+	e.seen++
+	if e.seen >= 64 {
+		e.seen = 0
+		for i := range e.deltas {
+			e.deltas[i].score /= 2
+		}
+	}
+
+	// Push history.
+	copy(e.hist[1:], e.hist[:len(e.hist)-1])
+	e.hist[0] = histEntry{line: line, at: ev.Now}
+	if e.histN < len(e.hist) {
+		e.histN++
+	}
+
+	// Issue the confident deltas.
+	issued := 0
+	for _, ds := range e.deltas {
+		if issued >= p.cfg.MaxIssue {
+			break
+		}
+		if ds.score < p.cfg.IssueThreshold {
+			continue
+		}
+		target := int64(line) + ds.delta
+		if target <= 0 {
+			continue
+		}
+		out = append(out, prefetch.Request{Addr: mem.AddrOf(mem.Line(target))})
+		issued++
+	}
+	return out
+}
+
+// bump increments a delta's coverage score, tracking at most maxDeltas
+// candidates and evicting the weakest.
+func (e *entry) bump(d int64, maxDeltas int) {
+	weakest, weakestScore := -1, 1<<30
+	for i := range e.deltas {
+		if e.deltas[i].delta == d {
+			if e.deltas[i].score < 63 {
+				e.deltas[i].score++
+			}
+			return
+		}
+		if e.deltas[i].score < weakestScore {
+			weakest, weakestScore = i, e.deltas[i].score
+		}
+	}
+	if len(e.deltas) < maxDeltas {
+		e.deltas = append(e.deltas, deltaScore{delta: d, score: 1})
+		return
+	}
+	if weakest >= 0 && weakestScore == 0 {
+		e.deltas[weakest] = deltaScore{delta: d, score: 1}
+	}
+}

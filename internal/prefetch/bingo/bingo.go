@@ -1,0 +1,151 @@
+// Package bingo implements the Bingo spatial prefetcher (Bakhshalipour et
+// al., HPCA 2019): it records the footprint of lines touched within a region
+// and replays it when the region is re-triggered, matching history first by
+// the long event (PC+address) and falling back to the short one (PC+offset).
+// Bingo is one of Figure 11c's L2 regular-prefetcher baselines.
+package bingo
+
+import (
+	"streamline/internal/mem"
+	"streamline/internal/prefetch"
+)
+
+// Config parameterizes Bingo.
+type Config struct {
+	// RegionLines is the spatial region size in lines (32: 2KB).
+	RegionLines int
+	// TrackerSize is the number of regions tracked concurrently.
+	TrackerSize int
+	// HistorySize is the footprint history capacity.
+	HistorySize int
+}
+
+// DefaultConfig matches the published 2KB-region configuration.
+var DefaultConfig = Config{RegionLines: 32, TrackerSize: 64, HistorySize: 4096}
+
+type tracker struct {
+	valid     bool
+	region    mem.Line // region base line
+	footprint uint32
+	pc        mem.PC
+	offset    int
+	lru       uint64
+}
+
+type history struct {
+	footprint uint32
+	valid     bool
+}
+
+// Prefetcher is the Bingo spatial prefetcher.
+type Prefetcher struct {
+	cfg      Config
+	trackers []tracker
+	longHist map[uint64]uint32 // PC+address -> footprint
+	shortHis []history         // PC+offset hashed
+	clock    uint64
+}
+
+// New returns a Bingo instance.
+func New(cfg Config) *Prefetcher {
+	if cfg.RegionLines <= 0 {
+		cfg = DefaultConfig
+	}
+	return &Prefetcher{
+		cfg:      cfg,
+		trackers: make([]tracker, cfg.TrackerSize),
+		longHist: make(map[uint64]uint32, cfg.HistorySize),
+		shortHis: make([]history, 1<<14),
+	}
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "bingo" }
+
+func (p *Prefetcher) longKey(pc mem.PC, region mem.Line, offset int) uint64 {
+	return mem.HashPC(pc, 20)<<40 ^ uint64(region)<<5 ^ uint64(offset)
+}
+
+func (p *Prefetcher) shortKey(pc mem.PC, offset int) int {
+	return int((mem.HashPC(pc, 20) ^ uint64(offset)<<9) % uint64(len(p.shortHis)))
+}
+
+// Train implements prefetch.Prefetcher.
+func (p *Prefetcher) Train(ev prefetch.Event, out []prefetch.Request) []prefetch.Request {
+	line := ev.Line()
+	region := line / mem.Line(p.cfg.RegionLines) * mem.Line(p.cfg.RegionLines)
+	offset := int(line - region)
+	p.clock++
+
+	// Find or allocate the region tracker.
+	var tr *tracker
+	victim := 0
+	for i := range p.trackers {
+		t := &p.trackers[i]
+		if t.valid && t.region == region {
+			tr = t
+			break
+		}
+		if !t.valid {
+			victim = i
+			continue
+		}
+		if p.trackers[victim].valid && t.lru < p.trackers[victim].lru {
+			victim = i
+		}
+	}
+	if tr == nil {
+		// Evict: commit the old tracker's footprint to history.
+		old := &p.trackers[victim]
+		if old.valid {
+			p.commit(old)
+		}
+		*old = tracker{
+			valid: true, region: region, pc: ev.PC, offset: offset, lru: p.clock,
+		}
+		tr = old
+
+		// A fresh trigger: predict the footprint from history.
+		fp, ok := p.longHist[p.longKey(ev.PC, region, offset)]
+		if !ok {
+			h := p.shortHis[p.shortKey(ev.PC, offset)]
+			if h.valid {
+				fp, ok = h.footprint, true
+			}
+		}
+		if ok {
+			for b := 0; b < p.cfg.RegionLines; b++ {
+				if fp&(1<<uint(b)) != 0 && b != offset {
+					out = append(out, prefetch.Request{
+						Addr: mem.AddrOf(region + mem.Line(b)),
+					})
+				}
+			}
+		}
+	}
+	tr.footprint |= 1 << uint(offset)
+	tr.lru = p.clock
+	return out
+}
+
+// commit stores a completed region footprint under both event keys.
+func (p *Prefetcher) commit(t *tracker) {
+	if popcount(t.footprint) < 2 {
+		return // single-line regions carry no spatial signal
+	}
+	if len(p.longHist) >= p.cfg.HistorySize {
+		// Cheap wholesale aging: drop the table when full.
+		p.longHist = make(map[uint64]uint32, p.cfg.HistorySize)
+	}
+	p.longHist[p.longKey(t.pc, t.region, t.offset)] = t.footprint
+	p.shortHis[p.shortKey(t.pc, t.offset)] = history{footprint: t.footprint, valid: true}
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,76 @@
+package bingo
+
+import (
+	"testing"
+
+	"streamline/internal/mem"
+	"streamline/internal/prefetch"
+)
+
+func drive(p *Prefetcher, pc mem.PC, lines []mem.Line) []prefetch.Request {
+	var all, buf []prefetch.Request
+	for i, l := range lines {
+		buf = p.Train(prefetch.Event{Now: uint64(i), PC: pc, Addr: mem.AddrOf(l)}, buf[:0])
+		all = append(all, buf...)
+	}
+	return all
+}
+
+// footprintWorkload touches the same offsets {0, 3, 7, 12} in many regions,
+// with enough interleaving churn to retire trackers into history.
+func footprintWorkload(regions int) []mem.Line {
+	offsets := []mem.Line{0, 3, 7, 12}
+	var lines []mem.Line
+	for r := 0; r < regions; r++ {
+		base := mem.Line(r * 32)
+		for _, o := range offsets {
+			lines = append(lines, base+o)
+		}
+	}
+	return lines
+}
+
+func TestReplaysLearnedFootprint(t *testing.T) {
+	p := New(DefaultConfig)
+	// Train across enough regions to evict trackers into history, then
+	// fresh regions should be prefetched on first touch.
+	lines := footprintWorkload(400)
+	reqs := drive(p, 1, lines)
+	if len(reqs) == 0 {
+		t.Fatal("no footprint replays")
+	}
+	// Replayed offsets should match the trained footprint.
+	good := 0
+	for _, r := range reqs {
+		off := mem.LineOf(r.Addr) % 32
+		switch off {
+		case 0, 3, 7, 12:
+			good++
+		}
+	}
+	if float64(good)/float64(len(reqs)) < 0.9 {
+		t.Errorf("only %d/%d replayed offsets match the footprint", good, len(reqs))
+	}
+}
+
+func TestSingleLineRegionsNotStored(t *testing.T) {
+	p := New(DefaultConfig)
+	var lines []mem.Line
+	for r := 0; r < 300; r++ {
+		lines = append(lines, mem.Line(r*32)) // one touch per region
+	}
+	reqs := drive(p, 1, lines)
+	if len(reqs) != 0 {
+		t.Errorf("%d prefetches from single-line footprints", len(reqs))
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := New(Config{})
+	if p.Name() != "bingo" {
+		t.Errorf("name = %q", p.Name())
+	}
+	if p.cfg.RegionLines != 32 {
+		t.Error("defaults not applied")
+	}
+}

@@ -1,0 +1,163 @@
+// Package ipcp implements the IPCP prefetcher (Pakalapati & Panda, ISCA
+// 2020): each instruction pointer is classified as constant-stride (CS),
+// complex-stride (CPLX, via a delta-signature table), or global-stream (GS),
+// and the strongest class prefetches. IPCP is one of Figure 11c's L2
+// regular-prefetcher baselines.
+package ipcp
+
+import (
+	"streamline/internal/mem"
+	"streamline/internal/prefetch"
+)
+
+// Config parameterizes IPCP.
+type Config struct {
+	TableSize int
+	CSDegree  int
+	CPLXDepth int // lookahead depth through the delta signature table
+	GSDegree  int
+}
+
+// DefaultConfig matches the published configuration's intent.
+var DefaultConfig = Config{TableSize: 256, CSDegree: 4, CPLXDepth: 3, GSDegree: 4}
+
+type ipEntry struct {
+	tag      uint32
+	valid    bool
+	last     mem.Line
+	stride   int64
+	strideOK int // CS confidence
+	sig      uint16
+}
+
+// cplxEntry is a delta-signature-table slot.
+type cplxEntry struct {
+	delta int64
+	conf  int
+}
+
+// Prefetcher is the IPCP prefetcher.
+type Prefetcher struct {
+	cfg  Config
+	ips  []ipEntry
+	cplx []cplxEntry // indexed by signature
+
+	// Global stream detector: recent line window occupancy.
+	gsWindow  [32]mem.Line
+	gsNext    int
+	gsDenseCt int
+}
+
+// New returns an IPCP instance.
+func New(cfg Config) *Prefetcher {
+	if cfg.TableSize <= 0 {
+		cfg = DefaultConfig
+	}
+	return &Prefetcher{
+		cfg:  cfg,
+		ips:  make([]ipEntry, cfg.TableSize),
+		cplx: make([]cplxEntry, 1<<12),
+	}
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "ipcp" }
+
+func nextSig(sig uint16, delta int64) uint16 {
+	return (sig<<3 ^ uint16(uint64(delta)&0x3f)) & 0xfff
+}
+
+// Train implements prefetch.Prefetcher.
+func (p *Prefetcher) Train(ev prefetch.Event, out []prefetch.Request) []prefetch.Request {
+	line := ev.Line()
+	idx := int(mem.HashPC(ev.PC, 16)) % len(p.ips)
+	tag := uint32(mem.HashPC(ev.PC, 24))
+	e := &p.ips[idx]
+	if !e.valid || e.tag != tag {
+		*e = ipEntry{tag: tag, valid: true, last: line}
+		return out
+	}
+	delta := int64(line) - int64(e.last)
+	if delta == 0 {
+		return out
+	}
+
+	// CS classification.
+	if delta == e.stride {
+		if e.strideOK < 3 {
+			e.strideOK++
+		}
+	} else {
+		e.strideOK--
+		if e.strideOK <= 0 {
+			e.strideOK = 0
+			e.stride = delta
+		}
+	}
+
+	// CPLX: train the delta signature table.
+	ce := &p.cplx[e.sig]
+	if ce.delta == delta {
+		if ce.conf < 3 {
+			ce.conf++
+		}
+	} else {
+		ce.conf--
+		if ce.conf <= 0 {
+			ce.conf = 0
+			ce.delta = delta
+		}
+	}
+	sig := nextSig(e.sig, delta)
+
+	// GS: detect dense region streaming.
+	p.gsWindow[p.gsNext] = line >> 5 // 2KB region
+	p.gsNext = (p.gsNext + 1) % len(p.gsWindow)
+	dense := 0
+	for _, r := range p.gsWindow {
+		if r == line>>5 {
+			dense++
+		}
+	}
+
+	e.last = line
+	e.sig = sig
+
+	switch {
+	case e.strideOK >= 2 && e.stride != 0:
+		// Constant stride: the strongest class.
+		for d := 1; d <= p.cfg.CSDegree; d++ {
+			t := int64(line) + e.stride*int64(d)
+			if t <= 0 {
+				break
+			}
+			out = append(out, prefetch.Request{Addr: mem.AddrOf(mem.Line(t))})
+		}
+	case p.cplxConfident(sig):
+		// Complex stride: walk the signature chain.
+		cur := int64(line)
+		s := sig
+		for i := 0; i < p.cfg.CPLXDepth; i++ {
+			ce := p.cplx[s]
+			if ce.conf < 2 || ce.delta == 0 {
+				break
+			}
+			cur += ce.delta
+			if cur <= 0 {
+				break
+			}
+			out = append(out, prefetch.Request{Addr: mem.AddrOf(mem.Line(cur))})
+			s = nextSig(s, ce.delta)
+		}
+	case dense >= 24:
+		// Global stream: prefetch ahead in the region.
+		for d := 1; d <= p.cfg.GSDegree; d++ {
+			out = append(out, prefetch.Request{Addr: mem.AddrOf(line + mem.Line(d))})
+		}
+	}
+	return out
+}
+
+func (p *Prefetcher) cplxConfident(sig uint16) bool {
+	return p.cplx[sig].conf >= 2 && p.cplx[sig].delta != 0
+}

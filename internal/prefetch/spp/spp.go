@@ -1,0 +1,255 @@
+// Package spp implements the Signature Path Prefetcher with Perceptron
+// Prefetch Filtering (SPP-PPF, Bhatia et al., ISCA 2019): per-page delta
+// signatures index a pattern table whose confident deltas are followed with
+// multiplicative path confidence, and a perceptron filter accepts or rejects
+// each candidate using PC/signature/delta features. SPP-PPF is one of
+// Figure 11c's L2 regular-prefetcher baselines.
+package spp
+
+import (
+	"streamline/internal/mem"
+	"streamline/internal/prefetch"
+)
+
+// Config parameterizes SPP-PPF.
+type Config struct {
+	// PageLines is the spatial scope of signatures (64: 4KB pages).
+	PageLines int
+	// Trackers is the number of concurrently tracked pages.
+	Trackers int
+	// LookaheadDepth bounds the signature chain walk.
+	LookaheadDepth int
+	// PathThreshold is the minimum multiplicative path confidence
+	// (percent) to continue prefetching.
+	PathThreshold int
+	// FilterThreshold is the perceptron acceptance threshold.
+	FilterThreshold int
+}
+
+// DefaultConfig matches the published design's intent.
+var DefaultConfig = Config{
+	PageLines:       64,
+	Trackers:        64,
+	LookaheadDepth:  4,
+	PathThreshold:   25,
+	FilterThreshold: 0,
+}
+
+type pageTracker struct {
+	valid  bool
+	page   mem.Line
+	last   int // last offset
+	sig    uint16
+	lru    uint64
+	filled bool
+}
+
+type patternEntry struct {
+	delta int64
+	count int
+	total int
+}
+
+// perceptron is the PPF: small weight tables over hashed features.
+type perceptron struct {
+	wPC    []int8
+	wSig   []int8
+	wDelta []int8
+}
+
+func newPerceptron() *perceptron {
+	return &perceptron{
+		wPC:    make([]int8, 1<<10),
+		wSig:   make([]int8, 1<<10),
+		wDelta: make([]int8, 1<<8),
+	}
+}
+
+func (pf *perceptron) features(pc mem.PC, sig uint16, delta int64) (int, int, int) {
+	return int(mem.HashPC(pc, 10)),
+		int(sig) & 1023,
+		int(uint64(delta)) & 255
+}
+
+func (pf *perceptron) score(pc mem.PC, sig uint16, delta int64) int {
+	a, b, c := pf.features(pc, sig, delta)
+	return int(pf.wPC[a]) + int(pf.wSig[b]) + int(pf.wDelta[c])
+}
+
+func (pf *perceptron) train(pc mem.PC, sig uint16, delta int64, useful bool) {
+	a, b, c := pf.features(pc, sig, delta)
+	upd := func(w *int8, d int8) {
+		n := *w + d
+		if n > 31 {
+			n = 31
+		}
+		if n < -32 {
+			n = -32
+		}
+		*w = n
+	}
+	d := int8(1)
+	if !useful {
+		d = -1
+	}
+	upd(&pf.wPC[a], d)
+	upd(&pf.wSig[b], d)
+	upd(&pf.wDelta[c], d)
+}
+
+// issuedRecord remembers a recent prefetch decision for filter training.
+type issuedRecord struct {
+	line  mem.Line
+	pc    mem.PC
+	sig   uint16
+	delta int64
+	valid bool
+}
+
+// Prefetcher is the SPP-PPF prefetcher.
+type Prefetcher struct {
+	cfg      Config
+	trackers []pageTracker
+	patterns map[uint16]*patternEntry
+	filter   *perceptron
+	issued   []issuedRecord
+	issuedN  int
+	clock    uint64
+}
+
+// New returns an SPP-PPF instance.
+func New(cfg Config) *Prefetcher {
+	if cfg.PageLines <= 0 {
+		cfg = DefaultConfig
+	}
+	return &Prefetcher{
+		cfg:      cfg,
+		trackers: make([]pageTracker, cfg.Trackers),
+		patterns: make(map[uint16]*patternEntry),
+		filter:   newPerceptron(),
+		issued:   make([]issuedRecord, 256),
+	}
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "spp-ppf" }
+
+func sigNext(sig uint16, delta int64) uint16 {
+	return (sig<<3 ^ uint16(uint64(delta)&0x3f)) & 0xfff
+}
+
+// Train implements prefetch.Prefetcher.
+func (p *Prefetcher) Train(ev prefetch.Event, out []prefetch.Request) []prefetch.Request {
+	line := ev.Line()
+	page := line / mem.Line(p.cfg.PageLines)
+	offset := int(line % mem.Line(p.cfg.PageLines))
+	p.clock++
+
+	// Filter training: a demand access to a line we recently prefetched
+	// confirms the decision.
+	for i := range p.issued {
+		r := &p.issued[i]
+		if r.valid && r.line == line {
+			p.filter.train(r.pc, r.sig, r.delta, true)
+			r.valid = false
+		}
+	}
+
+	tr := p.findTracker(page)
+	if tr == nil {
+		return out
+	}
+	if !tr.filled {
+		tr.last = offset
+		tr.filled = true
+		tr.lru = p.clock
+		return out
+	}
+	delta := int64(offset - tr.last)
+	if delta == 0 {
+		return out
+	}
+
+	// Train the pattern table for the old signature.
+	pe, ok := p.patterns[tr.sig]
+	if !ok {
+		pe = &patternEntry{}
+		p.patterns[tr.sig] = pe
+	}
+	pe.total++
+	if pe.delta == delta {
+		pe.count++
+	} else if pe.count > 0 {
+		pe.count--
+	} else {
+		pe.delta = delta
+		pe.count = 1
+	}
+	if pe.total > 64 {
+		pe.total /= 2
+		pe.count = (pe.count + 1) / 2
+	}
+
+	tr.sig = sigNext(tr.sig, delta)
+	tr.last = offset
+	tr.lru = p.clock
+
+	// Lookahead walk with multiplicative path confidence.
+	conf := 100
+	sig := tr.sig
+	cur := int64(offset)
+	for depth := 0; depth < p.cfg.LookaheadDepth; depth++ {
+		pe, ok := p.patterns[sig]
+		// Require minimum support and a majority delta before trusting a
+		// signature; fresh or churning signatures (conf trivially high)
+		// would otherwise spray prefetches on random access patterns.
+		if !ok || pe.total < 4 || pe.delta == 0 || pe.count*2 <= pe.total {
+			break
+		}
+		conf = conf * pe.count * 100 / pe.total / 100
+		if conf < p.cfg.PathThreshold {
+			break
+		}
+		cur += pe.delta
+		if cur < 0 || cur >= int64(p.cfg.PageLines) {
+			break // SPP stops at page boundaries
+		}
+		target := mem.Line(uint64(page)*uint64(p.cfg.PageLines)) + mem.Line(cur)
+		if p.filter.score(ev.PC, sig, pe.delta) >= p.cfg.FilterThreshold {
+			out = append(out, prefetch.Request{Addr: mem.AddrOf(target)})
+			p.remember(target, ev.PC, sig, pe.delta)
+		}
+		sig = sigNext(sig, pe.delta)
+	}
+	return out
+}
+
+// remember records an issued prefetch; stale slots train the filter down.
+func (p *Prefetcher) remember(line mem.Line, pc mem.PC, sig uint16, delta int64) {
+	r := &p.issued[p.issuedN]
+	if r.valid {
+		// Evicted unconfirmed: the prefetch was (probably) useless.
+		p.filter.train(r.pc, r.sig, r.delta, false)
+	}
+	*r = issuedRecord{line: line, pc: pc, sig: sig, delta: delta, valid: true}
+	p.issuedN = (p.issuedN + 1) % len(p.issued)
+}
+
+func (p *Prefetcher) findTracker(page mem.Line) *pageTracker {
+	victim := 0
+	for i := range p.trackers {
+		t := &p.trackers[i]
+		if t.valid && t.page == page {
+			return t
+		}
+		if !t.valid {
+			victim = i
+			continue
+		}
+		if p.trackers[victim].valid && t.lru < p.trackers[victim].lru {
+			victim = i
+		}
+	}
+	p.trackers[victim] = pageTracker{valid: true, page: page}
+	return &p.trackers[victim]
+}

@@ -1,0 +1,244 @@
+// Package triage implements the Triage temporal prefetcher (Wu et al.,
+// MICRO 2019), the first to keep its metadata entirely on chip in an LLC
+// partition. Triage stores pairwise correlations compressed with a lookup
+// table: each target is a 10-bit LUT index plus an 11-bit tag, fitting 16
+// correlations per block — at an accuracy cost, because LUT entries that get
+// recycled silently redirect older correlations to the wrong region (the
+// effect Triangel's authors quantified and this model reproduces).
+//
+// The paper uses an idealized Triage with unlimited metadata to define its
+// "irregular subset" of benchmarks (Section V-A3); NewIdeal builds that
+// variant.
+package triage
+
+import (
+	"streamline/internal/mem"
+	"streamline/internal/meta"
+	"streamline/internal/prefetch"
+)
+
+// Config parameterizes Triage.
+type Config struct {
+	// TUSize is the number of training-unit entries.
+	TUSize int
+	// MaxDegree bounds the prefetch chain (4).
+	MaxDegree int
+	// MetaBytes is the metadata partition size (resized every
+	// ResizeEpoch accesses toward the best trigger hit rate).
+	MetaBytes int
+	// ResizeEpoch is Triage's repartitioning period (50K accesses).
+	ResizeEpoch uint64
+	// LUTSize is the target-compression lookup table capacity (1024).
+	LUTSize int
+	// Ideal gives unlimited, uncompressed, dedicated metadata — the
+	// variant that defines the irregular subset.
+	Ideal bool
+}
+
+// DefaultConfig returns the paper's Triage configuration.
+func DefaultConfig() Config {
+	return Config{
+		TUSize:      256,
+		MaxDegree:   4,
+		MetaBytes:   1 << 20,
+		ResizeEpoch: 50_000,
+		LUTSize:     1024,
+	}
+}
+
+// lut is the target-region lookup table: regions (line >> 11) are assigned
+// 10-bit indices; recycling an index corrupts the correlations that still
+// reference it.
+type lut struct {
+	regions []uint64 // index -> region
+	gen     []uint32 // bump on recycle
+	byReg   map[uint64]int
+	next    int
+}
+
+func newLUT(size int) *lut {
+	return &lut{
+		regions: make([]uint64, size),
+		gen:     make([]uint32, size),
+		byReg:   make(map[uint64]int, size),
+	}
+}
+
+// encode returns the LUT index for the target's region, allocating (and
+// possibly recycling) as needed.
+func (l *lut) encode(target mem.Line) int {
+	region := uint64(target) >> 11
+	if idx, ok := l.byReg[region]; ok {
+		return idx
+	}
+	idx := l.next
+	l.next = (l.next + 1) % len(l.regions)
+	delete(l.byReg, l.regions[idx])
+	l.regions[idx] = region
+	l.gen[idx]++
+	l.byReg[region] = idx
+	return idx
+}
+
+// decode reconstructs a target from its compressed form; if the LUT slot was
+// recycled since encoding, the result silently points into the wrong region.
+func (l *lut) decode(idx int, low mem.Line) mem.Line {
+	return mem.Line(l.regions[idx]<<11) | (low & (1<<11 - 1))
+}
+
+// tuEntry tracks a PC's last access and its recently issued prefetches
+// (skipped without spending degree, so the chain runs ahead of the demand
+// stream — the lead that makes prefetches timely).
+type tuEntry struct {
+	tag    uint32
+	last   mem.Line
+	valid  bool
+	issued [64]mem.Line
+	next   int
+}
+
+func (tu *tuEntry) wasIssued(l mem.Line) bool {
+	for _, x := range tu.issued {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+func (tu *tuEntry) markIssued(l mem.Line) {
+	tu.issued[tu.next] = l
+	tu.next = (tu.next + 1) % len(tu.issued)
+}
+
+// idealEntry is a correlation in the unlimited ideal store.
+type idealEntry struct {
+	target mem.Line
+}
+
+// Prefetcher is the Triage temporal prefetcher.
+type Prefetcher struct {
+	cfg   Config
+	store *meta.Store
+	lut   *lut
+	tu    []tuEntry
+
+	ideal map[mem.Line]idealEntry
+
+	accesses uint64
+}
+
+// New constructs Triage over the given LLC bridge.
+func New(cfg Config, bridge meta.Bridge) *Prefetcher {
+	if cfg.TUSize <= 0 {
+		cfg = DefaultConfig()
+	}
+	p := &Prefetcher{
+		cfg: cfg,
+		tu:  make([]tuEntry, cfg.TUSize),
+		lut: newLUT(cfg.LUTSize),
+	}
+	if cfg.Ideal {
+		p.ideal = make(map[mem.Line]idealEntry)
+		return p
+	}
+	p.store = meta.NewStore(meta.StoreConfig{
+		Format:         meta.PairwiseCompressed,
+		MetaWaysPerSet: 8,
+		MaxBytes:       cfg.MetaBytes,
+		Policy:         meta.NewEntryLRU, // stands in for Triage's Hawkeye-managed metadata
+	}, bridge)
+	return p
+}
+
+// NewIdeal returns the unlimited-metadata Triage used to define the
+// irregular subset.
+func NewIdeal() *Prefetcher {
+	cfg := DefaultConfig()
+	cfg.Ideal = true
+	return New(cfg, &meta.NullBridge{Sets: 2048, Ways: 16})
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string {
+	if p.cfg.Ideal {
+		return "triage-ideal"
+	}
+	return "triage"
+}
+
+// MetaStats implements prefetch.MetaReporter.
+func (p *Prefetcher) MetaStats() meta.Stats {
+	if p.store == nil {
+		return meta.Stats{}
+	}
+	return p.store.Stats
+}
+
+// Train implements prefetch.Prefetcher: on an L2 miss or prefetch hit,
+// record the correlation from the PC's previous access and chase the chain.
+func (p *Prefetcher) Train(ev prefetch.Event, out []prefetch.Request) []prefetch.Request {
+	line := ev.Line()
+	idx := int(mem.HashPC(ev.PC, 16)) % len(p.tu)
+	tag := uint32(mem.HashPC(ev.PC, 24))
+	tu := &p.tu[idx]
+	p.accesses++
+
+	if !tu.valid || tu.tag != tag {
+		*tu = tuEntry{tag: tag, last: line, valid: true}
+		return out
+	}
+	trigger := tu.last
+	tu.last = line
+	if trigger == line {
+		return out
+	}
+
+	if p.cfg.Ideal {
+		p.ideal[trigger] = idealEntry{target: line}
+		cur := line
+		issued := 0
+		for hops := 0; issued < p.cfg.MaxDegree && hops < p.cfg.MaxDegree+16; hops++ {
+			e, ok := p.ideal[cur]
+			if !ok {
+				break
+			}
+			if !tu.wasIssued(e.target) {
+				out = append(out, prefetch.Request{Addr: mem.AddrOf(e.target)})
+				tu.markIssued(e.target)
+				issued++
+			}
+			cur = e.target
+		}
+		return out
+	}
+
+	// Compressed store: the target round-trips through the LUT, so stale
+	// LUT slots produce wrong-region prefetches exactly as in hardware.
+	lutIdx := p.lut.encode(line)
+	compressed := mem.Line(uint64(lutIdx)<<48) | (line & (1<<11 - 1))
+	p.store.Insert(ev.Now, ev.PC, meta.Entry{Trigger: trigger, Targets: []mem.Line{compressed}})
+
+	cur := line
+	var delay uint64
+	issued := 0
+	for hops := 0; issued < p.cfg.MaxDegree && hops < p.cfg.MaxDegree+8; hops++ {
+		e, found, lat := p.store.Lookup(ev.Now+delay, ev.PC, cur)
+		if !found {
+			break
+		}
+		delay += lat
+		enc := e.Targets[0]
+		target := p.lut.decode(int(uint64(enc)>>48), enc)
+		if !tu.wasIssued(target) {
+			out = append(out, prefetch.Request{Addr: mem.AddrOf(target), Delay: delay})
+			tu.markIssued(target)
+			issued++
+		}
+		cur = target
+	}
+	return out
+}
+
+// Store exposes the metadata store (nil for the ideal variant).
+func (p *Prefetcher) Store() *meta.Store { return p.store }

@@ -1,0 +1,513 @@
+// Package triangel implements the Triangel temporal prefetcher (Ainsworth &
+// Mukhanov, ISCA 2024), the paper's state-of-the-art baseline. Triangel
+// extends Triage with (1) per-PC reuse and pattern confidence measured by a
+// history sampler and second-chance sampler, which filter scan PCs out of
+// the metadata and control prefetch degree; (2) a metadata reuse buffer
+// (MRB) that reduces LLC metadata traffic; and (3) dynamic partitioning of
+// its pairwise, way-partitioned metadata store — whose two-level index
+// function forces a costly metadata rearrangement on every resize, the
+// overhead Streamline's filtered indexing eliminates.
+package triangel
+
+import (
+	"streamline/internal/mem"
+	"streamline/internal/meta"
+	"streamline/internal/prefetch"
+)
+
+// Config parameterizes Triangel.
+type Config struct {
+	// TUSize is the number of training-unit entries (per-PC state).
+	TUSize int
+	// HSSets and HSWays shape the history sampler.
+	HSSets, HSWays int
+	// SCSSize is the second-chance sampler capacity.
+	SCSSize int
+	// SampleShift is the initial per-PC sampling period exponent: one in
+	// 2^SampleShift training events enters the HS. The period adapts per
+	// PC (Triangel's 4-bit dynamic sampling rate): unused evictions grow
+	// it until sampled correlations survive to their reuse.
+	SampleShift uint8
+	// ReuseThreshold gates metadata insertion: PCs whose correlations are
+	// not reused (scans) are bypassed. Range 0..15.
+	ReuseThreshold int
+	// MRBSize is the metadata reuse buffer capacity (entries).
+	MRBSize int
+	// MaxDegree bounds the prefetch chain (4 in the paper).
+	MaxDegree int
+	// MetaBytes is the maximum metadata partition size (1MB).
+	MetaBytes int
+	// FixedBytes pins the partition and disables dynamic partitioning
+	// when positive (used by the storage-efficiency sweeps).
+	FixedBytes int
+	// ResizeEpoch is the dynamic partitioner's decision period.
+	ResizeEpoch uint64
+	// Lookahead enables distance-2 correlation for pattern-confident PCs.
+	Lookahead bool
+	// Policy overrides the metadata replacement policy (default SRRIP,
+	// per the Triangel paper; Figure 13c swaps in TP-Mockingjay).
+	Policy meta.EntryPolicyFactory
+	// StoreOverride replaces the whole store configuration (used by the
+	// Table I partitioning-scheme sweep); nil uses Triangel's RUW store.
+	StoreOverride *meta.StoreConfig
+}
+
+// DefaultConfig returns the paper's Triangel configuration.
+func DefaultConfig() Config {
+	return Config{
+		TUSize:         256,
+		HSSets:         32,
+		HSWays:         4,
+		SCSSize:        16,
+		SampleShift:    7,
+		ReuseThreshold: 6,
+		MRBSize:        32,
+		MaxDegree:      4,
+		MetaBytes:      1 << 20,
+		ResizeEpoch:    50_000,
+		Lookahead:      true,
+	}
+}
+
+// tuEntry is one PC's training state.
+type tuEntry struct {
+	tag       uint32
+	last0     mem.Line // most recent address
+	last1     mem.Line // the one before
+	valid     bool
+	haveLast1 bool
+
+	// Recently issued prefetch lines, skipped without spending degree so
+	// the chain runs ahead of the demand stream (timeliness).
+	issued    [64]mem.Line
+	issuedIdx int
+}
+
+func (tu *tuEntry) wasIssued(l mem.Line) bool {
+	for _, x := range tu.issued {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+func (tu *tuEntry) markIssued(l mem.Line) {
+	tu.issued[tu.issuedIdx] = l
+	tu.issuedIdx = (tu.issuedIdx + 1) % len(tu.issued)
+}
+
+// hsEntry is a sampled correlation in the history sampler.
+type hsEntry struct {
+	valid   bool
+	trigger mem.Line
+	target  mem.Line
+	pcSig   uint32
+	dist    uint8 // correlation distance: 1, or 2 under lookahead
+	used    bool
+	lru     uint64
+}
+
+// scsEntry is a second-chance sampler slot.
+type scsEntry struct {
+	valid   bool
+	trigger mem.Line
+	pcSig   uint32
+}
+
+// mrbEntry caches a recently fetched metadata entry.
+type mrbEntry struct {
+	valid   bool
+	conf    bool
+	trigger mem.Line
+	target  mem.Line
+	lru     uint64
+}
+
+// Prefetcher is the Triangel temporal prefetcher.
+type Prefetcher struct {
+	cfg   Config
+	store *meta.Store
+	part  *meta.Partitioner
+
+	tu  []tuEntry
+	hs  [][]hsEntry
+	scs []scsEntry
+	mrb []mrbEntry
+
+	pcConf map[uint32]*pcState
+
+	clock    uint64
+	scsNext  int
+	accesses uint64
+
+	// MRBHits counts metadata reads avoided by the reuse buffer.
+	MRBHits uint64
+}
+
+// pcState holds confidence shared across TU replacements of the same PC.
+type pcState struct {
+	reuseConf   int8
+	patternConf int8
+	sampleShift uint8 // dynamic sampling period exponent (0..12)
+	sampleCtr   uint32
+	laMode      bool // lookahead engaged (hysteretic)
+}
+
+// lookahead applies hysteresis: engage at pattern >= 12, disengage < 6.
+func (st *pcState) lookahead(*Prefetcher) bool {
+	if st.laMode {
+		if st.patternConf < 6 {
+			st.laMode = false
+		}
+	} else if st.patternConf >= 12 {
+		st.laMode = true
+	}
+	return st.laMode
+}
+
+// New constructs a Triangel instance over the given LLC bridge.
+func New(cfg Config, bridge meta.Bridge) *Prefetcher {
+	if cfg.TUSize <= 0 {
+		cfg = DefaultConfig()
+	}
+	storeCfg := meta.StoreConfig{
+		Format:         meta.Pairwise,
+		Tagged:         false,
+		Filtered:       false,
+		SetPartitioned: false,
+		MetaWaysPerSet: 8,
+		MaxBytes:       cfg.MetaBytes,
+		Policy:         cfg.Policy,
+	}
+	if storeCfg.Policy == nil {
+		storeCfg.Policy = meta.NewEntrySRRIP
+	}
+	if cfg.StoreOverride != nil {
+		storeCfg = *cfg.StoreOverride
+	}
+	p := &Prefetcher{
+		cfg:    cfg,
+		store:  meta.NewStore(storeCfg, bridge),
+		tu:     make([]tuEntry, cfg.TUSize),
+		hs:     make([][]hsEntry, cfg.HSSets),
+		scs:    make([]scsEntry, cfg.SCSSize),
+		mrb:    make([]mrbEntry, cfg.MRBSize),
+		pcConf: make(map[uint32]*pcState),
+	}
+	for i := range p.hs {
+		p.hs[i] = make([]hsEntry, cfg.HSWays)
+	}
+	_, llcWays := bridge.Geometry()
+	sizes := make([]int, 0, 9)
+	for w := 0; w <= storeCfg.MetaWaysPerSet; w++ {
+		sizes = append(sizes, cfg.MetaBytes*w/storeCfg.MetaWaysPerSet)
+	}
+	p.part = meta.NewPartitioner(meta.PartitionerConfig{
+		Mode:            meta.WayMode,
+		Sizes:           sizes,
+		MaxBytes:        cfg.MetaBytes,
+		LLCWays:         llcWays,
+		MetaWaysPerSet:  storeCfg.MetaWaysPerSet,
+		EntriesPerBlock: meta.EntriesPerBlock(storeCfg.Format, storeCfg.StreamLength),
+		EpochAccesses:   cfg.ResizeEpoch,
+		DataWeight:      16,
+		MetaWeight:      meta.EqualMetaWeight,
+	})
+	if cfg.FixedBytes > 0 {
+		p.store.Resize(cfg.FixedBytes)
+	}
+	return p
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "triangel" }
+
+// MetaStats implements prefetch.MetaReporter.
+func (p *Prefetcher) MetaStats() meta.Stats { return p.store.Stats }
+
+// Store exposes the metadata store for experiments.
+func (p *Prefetcher) Store() *meta.Store { return p.store }
+
+// ObserveLLCData implements prefetch.LLCDataObserver, feeding the dynamic
+// partitioner's data-utility profile.
+func (p *Prefetcher) ObserveLLCData(set int, line mem.Line) {
+	if p.cfg.FixedBytes > 0 {
+		return
+	}
+	p.part.ObserveData(set, line)
+}
+
+func (p *Prefetcher) conf(sig uint32) *pcState {
+	st, ok := p.pcConf[sig]
+	if !ok {
+		// New PCs start mildly trusted so cold workloads begin training.
+		st = &pcState{reuseConf: 8, patternConf: 8, sampleShift: p.cfg.SampleShift}
+		p.pcConf[sig] = st
+	}
+	return st
+}
+
+func bump(v *int8, d int8) {
+	n := *v + d
+	if n < 0 {
+		n = 0
+	}
+	if n > 15 {
+		n = 15
+	}
+	*v = n
+}
+
+// degree maps pattern confidence to prefetch degree (0..MaxDegree).
+func (p *Prefetcher) degree(st *pcState) int {
+	switch {
+	case st.patternConf < 4:
+		return 0
+	case st.patternConf < 8:
+		return 1
+	case st.patternConf < 11:
+		return 2
+	case st.patternConf < 14:
+		return p.cfg.MaxDegree - 1
+	default:
+		return p.cfg.MaxDegree
+	}
+}
+
+// ---- history sampler -------------------------------------------------
+
+func (p *Prefetcher) hsSet(trigger mem.Line) int {
+	return int(mem.HashLine64(trigger)>>40) % len(p.hs)
+}
+
+// hsProbeTrigger checks whether a trigger has a sampled correlation at the
+// given distance: finding one means the correlation was reused before
+// eviction (the reuse signal), and comparing its stored target against the
+// actual access at that distance measures pattern stability. Distances must
+// match — a lookahead (distance-2) sample validated against the distance-1
+// successor would falsely demerit a perfectly stable stream.
+func (p *Prefetcher) hsProbeTrigger(trigger, actualNext mem.Line, dist uint8) {
+	set := p.hs[p.hsSet(trigger)]
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.trigger == trigger && e.dist == dist {
+			st := p.conf(e.pcSig)
+			if !e.used {
+				e.used = true
+			}
+			// Reused before eviction: reward strongly enough to outweigh
+			// the unused evictions a finite sampler inevitably causes.
+			bump(&st.reuseConf, 2)
+			if e.target == actualNext {
+				bump(&st.patternConf, 1)
+				if st.sampleShift > 0 {
+					st.sampleShift--
+				}
+				p.clock++
+				e.lru = p.clock
+			} else {
+				// Proven unstable: one demerit, then stop sampling this
+				// trigger — a hot trigger probed on every recurrence would
+				// otherwise outvote every stable correlation the PC has.
+				bump(&st.patternConf, -1)
+				e.valid = false
+			}
+			return
+		}
+	}
+	// Second chance: a reordered reuse still deserves partial credit.
+	for i := range p.scs {
+		e := &p.scs[i]
+		if e.valid && e.trigger == trigger {
+			bump(&p.conf(e.pcSig).reuseConf, 1)
+			e.valid = false
+			return
+		}
+	}
+}
+
+// hsInsert samples a correlation into the history sampler, demoting the
+// owner of any unused victim and giving the victim a second chance.
+func (p *Prefetcher) hsInsert(trigger, target mem.Line, pcSig uint32, dist uint8) {
+	set := p.hs[p.hsSet(trigger)]
+	victim := 0
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.trigger == trigger && e.dist == dist {
+			e.target = target
+			e.pcSig = pcSig
+			return
+		}
+		if !e.valid {
+			victim = i
+			break
+		}
+		if e.lru < set[victim].lru {
+			victim = i
+		}
+	}
+	v := &set[victim]
+	if v.valid && !v.used {
+		vs := p.conf(v.pcSig)
+		bump(&vs.reuseConf, -1)
+		// Sample less often so future samples survive to their reuse.
+		if vs.sampleShift < 12 {
+			vs.sampleShift++
+		}
+		p.scs[p.scsNext] = scsEntry{valid: true, trigger: v.trigger, pcSig: v.pcSig}
+		p.scsNext = (p.scsNext + 1) % len(p.scs)
+	}
+	p.clock++
+	*v = hsEntry{valid: true, trigger: trigger, target: target, pcSig: pcSig, dist: dist, lru: p.clock}
+}
+
+// ---- metadata reuse buffer --------------------------------------------
+
+func (p *Prefetcher) mrbLookup(trigger mem.Line) (mem.Line, bool, bool) {
+	for i := range p.mrb {
+		e := &p.mrb[i]
+		if e.valid && e.trigger == trigger {
+			p.clock++
+			e.lru = p.clock
+			return e.target, e.conf, true
+		}
+	}
+	return 0, false, false
+}
+
+func (p *Prefetcher) mrbInsert(trigger, target mem.Line, conf bool) {
+	victim := 0
+	for i := range p.mrb {
+		e := &p.mrb[i]
+		if e.valid && e.trigger == trigger {
+			e.target = target
+			e.conf = conf
+			p.clock++
+			e.lru = p.clock
+			return
+		}
+		if !e.valid {
+			victim = i
+			break
+		}
+		if e.lru < p.mrb[victim].lru {
+			victim = i
+		}
+	}
+	p.clock++
+	p.mrb[victim] = mrbEntry{valid: true, conf: conf, trigger: trigger, target: target, lru: p.clock}
+}
+
+// ---- main operation ----------------------------------------------------
+
+// Train implements prefetch.Prefetcher. The simulator calls it on L2 misses
+// and prefetch hits.
+func (p *Prefetcher) Train(ev prefetch.Event, out []prefetch.Request) []prefetch.Request {
+	line := ev.Line()
+	pcSig := uint32(mem.HashPC(ev.PC, 24))
+	idx := int(mem.HashPC(ev.PC, 16)) % len(p.tu)
+	tu := &p.tu[idx]
+	st := p.conf(pcSig)
+
+	p.accesses++
+
+	if !tu.valid || tu.tag != pcSig {
+		*tu = tuEntry{tag: pcSig, last0: line, valid: true}
+		p.maybeResize()
+		return out
+	}
+
+	// Lookahead (distance-2 correlation) engages with hysteresis so the
+	// metadata store is not churned by mode flapping.
+	dist := uint8(1)
+	trigger := tu.last0
+	if p.cfg.Lookahead && tu.haveLast1 && st.lookahead(p) {
+		trigger = tu.last1
+		dist = 2
+	}
+
+	// Reuse/pattern measurement: did a sampled correlation for this
+	// trigger survive to be used, and does its target still hold? Probe
+	// at both distances so samples validate against the successor they
+	// actually recorded.
+	p.hsProbeTrigger(tu.last0, line, 1)
+	if tu.haveLast1 {
+		p.hsProbeTrigger(tu.last1, line, 2)
+	}
+
+	if trigger != line {
+		// Sample into the HS at the PC's adaptive period.
+		st.sampleCtr++
+		if st.sampleCtr >= 1<<st.sampleShift {
+			st.sampleCtr = 0
+			p.hsInsert(trigger, line, pcSig, dist)
+		}
+
+		// Store the correlation only for PCs whose metadata gets reused
+		// — this is the bypass that protects mcf's scans.
+		if int(st.reuseConf) >= p.cfg.ReuseThreshold {
+			if t, _, ok := p.mrbLookup(trigger); !ok || t != line {
+				_, conf := p.store.Insert(ev.Now, ev.PC, meta.Entry{
+					Trigger: trigger, Targets: []mem.Line{line},
+				})
+				p.mrbInsert(trigger, line, conf)
+			}
+			if p.cfg.FixedBytes == 0 {
+				p.part.ObserveTrigger(p.store.LogicalSetOf(trigger), trigger)
+			}
+		}
+	}
+
+	// Prefetch chain: follow correlations until the PC's degree of new
+	// prefetches is met, paying a metadata read for every MRB miss.
+	// Recently issued lines are skipped without spending degree so the
+	// chain runs ahead of the demand stream.
+	deg := p.degree(st)
+	cur := line
+	var delay uint64
+	issued := 0
+	for hops := 0; issued < deg && hops < deg+8; hops++ {
+		target, conf, hit := p.mrbLookup(cur)
+		if hit {
+			p.MRBHits++
+		} else {
+			e, found, lat := p.store.Lookup(ev.Now+delay, ev.PC, cur)
+			if !found {
+				break
+			}
+			delay += lat
+			target = e.Targets[0]
+			conf = e.Conf
+			p.mrbInsert(cur, target, e.Conf)
+		}
+		if !tu.wasIssued(target) {
+			out = append(out, prefetch.Request{Addr: mem.AddrOf(target), Delay: delay})
+			tu.markIssued(target)
+			issued++
+		}
+		if !conf && hops > 0 {
+			// The entry format's confidence bit: an unconfirmed
+			// correlation ends the chain rather than steering it onto
+			// some other stream.
+			break
+		}
+		cur = target
+	}
+
+	tu.last1, tu.haveLast1 = tu.last0, true
+	tu.last0 = line
+	p.maybeResize()
+	return out
+}
+
+// maybeResize lets the dynamic partitioner act at epoch boundaries,
+// triggering Triangel's costly metadata rearrangement on changes.
+func (p *Prefetcher) maybeResize() {
+	if p.cfg.FixedBytes > 0 {
+		return
+	}
+	if size, changed := p.part.Tick(); changed {
+		p.store.Resize(size)
+	}
+}

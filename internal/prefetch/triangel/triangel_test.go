@@ -1,0 +1,189 @@
+package triangel
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamline/internal/mem"
+	"streamline/internal/meta"
+	"streamline/internal/prefetch"
+)
+
+func testBridge() *meta.NullBridge { return &meta.NullBridge{Sets: 256, Ways: 16, Latency: 20} }
+
+func newTest() *Prefetcher {
+	cfg := DefaultConfig()
+	cfg.MetaBytes = 128 << 10
+	return New(cfg, testBridge())
+}
+
+func drive(p *Prefetcher, pc mem.PC, lines []mem.Line) []prefetch.Request {
+	var all, buf []prefetch.Request
+	for i, l := range lines {
+		buf = p.Train(prefetch.Event{Now: uint64(i * 30), PC: pc, Addr: mem.AddrOf(l)}, buf[:0])
+		all = append(all, buf...)
+	}
+	return all
+}
+
+func chaseLap(n int, seed int64) []mem.Line {
+	rng := rand.New(rand.NewSource(seed))
+	lap := make([]mem.Line, n)
+	for i, v := range rng.Perm(n) {
+		lap[i] = mem.Line(5000 + v)
+	}
+	return lap
+}
+
+func laps(lap []mem.Line, n int) []mem.Line {
+	var out []mem.Line
+	for i := 0; i < n; i++ {
+		out = append(out, lap...)
+	}
+	return out
+}
+
+func TestLearnsStableChase(t *testing.T) {
+	p := newTest()
+	lap := chaseLap(6000, 1)
+	reqs := drive(p, 7, laps(lap, 6))
+	if len(reqs) < len(lap) {
+		t.Fatalf("only %d prefetches over %d accesses", len(reqs), 6*len(lap))
+	}
+	inStream := map[mem.Line]bool{}
+	for _, l := range lap {
+		inStream[l] = true
+	}
+	good := 0
+	for _, r := range reqs {
+		if inStream[mem.LineOf(r.Addr)] {
+			good++
+		}
+	}
+	if frac := float64(good) / float64(len(reqs)); frac < 0.9 {
+		t.Errorf("only %.0f%% of prefetches on-stream", frac*100)
+	}
+}
+
+func TestConfidenceRisesOnStableStream(t *testing.T) {
+	p := newTest()
+	lap := chaseLap(4000, 2)
+	drive(p, 7, laps(lap, 6))
+	st := p.conf(uint32(mem.HashPC(7, 24)))
+	if st.reuseConf < 10 {
+		t.Errorf("reuseConf = %d after stable laps, want >= 10", st.reuseConf)
+	}
+	if st.patternConf < 10 {
+		t.Errorf("patternConf = %d after stable laps, want >= 10", st.patternConf)
+	}
+}
+
+func TestScanPCBypassed(t *testing.T) {
+	// A pure scan: addresses never recur, so reuse confidence must fall
+	// and the PC must stop inserting metadata (the mcf protection).
+	p := newTest()
+	var lines []mem.Line
+	for i := 0; i < 60000; i++ {
+		lines = append(lines, mem.Line(1_000_000+i))
+	}
+	drive(p, 9, lines)
+	st := p.conf(uint32(mem.HashPC(9, 24)))
+	if st.reuseConf >= int8(p.cfg.ReuseThreshold) {
+		t.Errorf("scan PC reuseConf = %d, want < %d (bypass)", st.reuseConf, p.cfg.ReuseThreshold)
+	}
+	// Inserts must stop growing once confidence collapses: compare totals
+	// in the second half against the first.
+	p2 := newTest()
+	drive(p2, 9, lines[:30000])
+	firstHalf := p2.store.Stats.Inserts
+	drive(p2, 9, lines[30000:])
+	secondHalf := p2.store.Stats.Inserts - firstHalf
+	if secondHalf*2 > firstHalf {
+		t.Errorf("scan PC still inserting: %d then %d", firstHalf, secondHalf)
+	}
+}
+
+func TestLookaheadEngagesWithHysteresis(t *testing.T) {
+	p := newTest()
+	lap := chaseLap(4000, 3)
+	drive(p, 7, laps(lap, 6))
+	st := p.conf(uint32(mem.HashPC(7, 24)))
+	if !st.laMode {
+		t.Error("lookahead not engaged on a highly stable stream")
+	}
+}
+
+func TestMRBReducesMetadataReads(t *testing.T) {
+	p := newTest()
+	lap := chaseLap(4000, 4)
+	drive(p, 7, laps(lap, 6))
+	if p.MRBHits == 0 {
+		t.Error("MRB never hit")
+	}
+}
+
+func TestDynamicResizeGeneratesRearrangeTraffic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MetaBytes = 128 << 10
+	cfg.ResizeEpoch = 4096
+	p := New(cfg, testBridge())
+	// Alternate phases of temporal-friendly and data-friendly behavior to
+	// push the partitioner around.
+	lap := chaseLap(6000, 5)
+	drive(p, 7, laps(lap, 4))
+	// Feed strong data utility so the partitioner shrinks the metadata.
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 300000; i++ {
+		p.ObserveLLCData(rng.Intn(256)&^63, mem.Line(rng.Intn(128)))
+		p.maybeResize()
+	}
+	if p.store.Stats.Resizes == 0 {
+		t.Skip("partitioner never resized in this scenario")
+	}
+	if p.store.Stats.RearrangeReads+p.store.Stats.RearrangeWrites == 0 {
+		t.Error("Triangel resized without rearrangement traffic (RUW must shuffle)")
+	}
+}
+
+func TestFixedBytesPinsPartition(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MetaBytes = 128 << 10
+	cfg.FixedBytes = 32 << 10
+	p := New(cfg, testBridge())
+	drive(p, 7, laps(chaseLap(3000, 7), 4))
+	if got := p.store.SizeBytes(); got != 32<<10 {
+		t.Errorf("store size = %d, want pinned 32KB", got)
+	}
+	if p.store.Stats.Resizes != 1 { // the initial pin only
+		t.Errorf("resizes = %d, want 1", p.store.Stats.Resizes)
+	}
+}
+
+func TestInterfaces(t *testing.T) {
+	p := newTest()
+	var _ prefetch.Prefetcher = p
+	var _ prefetch.MetaReporter = p
+	var _ prefetch.LLCDataObserver = p
+	if p.Name() != "triangel" {
+		t.Errorf("name = %q", p.Name())
+	}
+}
+
+func TestIssuedRingPreventsDuplicates(t *testing.T) {
+	p := newTest()
+	lap := chaseLap(3000, 8)
+	reqs := drive(p, 7, laps(lap, 6))
+	seen := map[mem.Addr]int{}
+	dups := 0
+	for _, r := range reqs {
+		seen[r.Addr]++
+	}
+	for _, n := range seen {
+		if n > 8 { // issued once per lap-ish is fine; tight loops are not
+			dups++
+		}
+	}
+	if dups > len(seen)/10 {
+		t.Errorf("%d of %d addresses re-issued excessively", dups, len(seen))
+	}
+}

@@ -1,0 +1,335 @@
+// Package replacement implements the cache replacement policies used across
+// the simulator: LRU and RRIP variants for the data caches, SHiP, Hawkeye
+// and Mockingjay for the LLC studies, and the Belady MIN / TP-MIN offline
+// oracles the paper uses to reason about temporal-prefetch metadata
+// (Section IV-D1, Figure 6, Figure 13c).
+package replacement
+
+import (
+	"math/rand"
+
+	"streamline/internal/mem"
+)
+
+// Access carries the request context policies may condition on.
+type Access struct {
+	PC   mem.PC
+	Line mem.Line
+}
+
+// Policy decides victims within a set-associative structure. The caller owns
+// validity; Victim is only consulted when every way in the set is valid.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Hit is invoked when an access hits in (set, way).
+	Hit(set, way int, a Access)
+	// Fill is invoked when a new line is installed in (set, way).
+	Fill(set, way int, a Access)
+	// Victim selects the way to evict among ways [lo, ways) of a full
+	// set; lo carves out ways reserved for another use (the LLC's
+	// metadata partition reserves the low-indexed ways of a set).
+	Victim(set, lo int, a Access) int
+	// Evict is invoked when (set, way) is invalidated or replaced.
+	Evict(set, way int)
+}
+
+// Factory constructs a policy for a structure with the given geometry.
+type Factory func(sets, ways int) Policy
+
+// Factories maps policy names to constructors, for configuration by name.
+var Factories = map[string]Factory{
+	"lru":        NewLRU,
+	"random":     NewRandom,
+	"srrip":      NewSRRIP,
+	"brrip":      NewBRRIP,
+	"drrip":      NewDRRIP,
+	"ship":       NewSHiP,
+	"hawkeye":    NewHawkeye,
+	"mockingjay": NewMockingjay,
+}
+
+// ---------------------------------------------------------------- LRU
+
+type lru struct {
+	stamp [][]uint64
+	clock uint64
+}
+
+// NewLRU returns a least-recently-used policy.
+func NewLRU(sets, ways int) Policy {
+	p := &lru{stamp: make([][]uint64, sets)}
+	for i := range p.stamp {
+		p.stamp[i] = make([]uint64, ways)
+	}
+	return p
+}
+
+func (p *lru) Name() string { return "lru" }
+
+func (p *lru) touch(set, way int) {
+	p.clock++
+	p.stamp[set][way] = p.clock
+}
+
+func (p *lru) Hit(set, way int, _ Access)  { p.touch(set, way) }
+func (p *lru) Fill(set, way int, _ Access) { p.touch(set, way) }
+func (p *lru) Evict(set, way int)          { p.stamp[set][way] = 0 }
+
+func (p *lru) Victim(set, lo int, _ Access) int {
+	best, bestStamp := lo, p.stamp[set][lo]
+	for w := lo; w < len(p.stamp[set]); w++ {
+		if p.stamp[set][w] < bestStamp {
+			best, bestStamp = w, p.stamp[set][w]
+		}
+	}
+	return best
+}
+
+// ---------------------------------------------------------------- Random
+
+type random struct {
+	ways int
+	rng  *rand.Rand
+}
+
+// NewRandom returns a uniformly random replacement policy (deterministic
+// per construction, for reproducibility).
+func NewRandom(sets, ways int) Policy {
+	return &random{ways: ways, rng: rand.New(rand.NewSource(int64(sets)<<16 | int64(ways)))}
+}
+
+func (p *random) Name() string                   { return "random" }
+func (p *random) Hit(int, int, Access)           {}
+func (p *random) Fill(int, int, Access)          {}
+func (p *random) Evict(int, int)                 {}
+func (p *random) Victim(_, lo int, _ Access) int { return lo + p.rng.Intn(p.ways-lo) }
+
+// ---------------------------------------------------------------- SRRIP
+
+const (
+	rrpvBits    = 2
+	rrpvMax     = 1<<rrpvBits - 1 // 3: eviction candidate
+	rrpvLong    = rrpvMax - 1     // 2: SRRIP insertion
+	rrpvDistant = rrpvMax         // 3: BRRIP common insertion
+)
+
+type srrip struct {
+	name string
+	rrpv [][]uint8
+	// insertRRPV returns the insertion prediction for this fill; SRRIP and
+	// BRRIP differ only here, and DRRIP switches between them.
+	insertRRPV func(set int) uint8
+}
+
+// NewSRRIP returns Static RRIP with 2-bit re-reference predictions, the
+// policy Triangel uses for its metadata (Jaleel et al., ISCA 2010).
+func NewSRRIP(sets, ways int) Policy {
+	p := newRRIPBase("srrip", sets, ways)
+	p.insertRRPV = func(int) uint8 { return rrpvLong }
+	return p
+}
+
+// NewBRRIP returns Bimodal RRIP: inserts at distant re-reference except for
+// a 1/32 chance of a long insertion.
+func NewBRRIP(sets, ways int) Policy {
+	p := newRRIPBase("brrip", sets, ways)
+	rng := rand.New(rand.NewSource(int64(sets)*31 + int64(ways)))
+	p.insertRRPV = func(int) uint8 {
+		if rng.Intn(32) == 0 {
+			return rrpvLong
+		}
+		return rrpvDistant
+	}
+	return p
+}
+
+func newRRIPBase(name string, sets, ways int) *srrip {
+	p := &srrip{name: name, rrpv: make([][]uint8, sets)}
+	for i := range p.rrpv {
+		p.rrpv[i] = make([]uint8, ways)
+		for w := range p.rrpv[i] {
+			p.rrpv[i][w] = rrpvMax
+		}
+	}
+	return p
+}
+
+func (p *srrip) Name() string { return p.name }
+
+func (p *srrip) Hit(set, way int, _ Access) { p.rrpv[set][way] = 0 }
+
+func (p *srrip) Fill(set, way int, _ Access) { p.rrpv[set][way] = p.insertRRPV(set) }
+
+func (p *srrip) Evict(set, way int) { p.rrpv[set][way] = rrpvMax }
+
+func (p *srrip) Victim(set, lo int, _ Access) int {
+	row := p.rrpv[set]
+	for {
+		for w := lo; w < len(row); w++ {
+			if row[w] >= rrpvMax {
+				return w
+			}
+		}
+		for w := lo; w < len(row); w++ {
+			row[w]++
+		}
+	}
+}
+
+// ---------------------------------------------------------------- DRRIP
+
+type drrip struct {
+	s, b       *srrip
+	psel       int
+	pselMax    int
+	leaderMask int
+}
+
+// NewDRRIP returns Dynamic RRIP: set dueling between SRRIP and BRRIP leader
+// sets, with follower sets using the currently winning policy.
+func NewDRRIP(sets, ways int) Policy {
+	return &drrip{
+		s:          NewSRRIP(sets, ways).(*srrip),
+		b:          NewBRRIP(sets, ways).(*srrip),
+		pselMax:    1023,
+		psel:       512,
+		leaderMask: 63,
+	}
+}
+
+func (p *drrip) Name() string { return "drrip" }
+
+// leader returns +1 for SRRIP leader sets, -1 for BRRIP leaders, 0 otherwise.
+func (p *drrip) leader(set int) int {
+	switch set & p.leaderMask {
+	case 0:
+		return 1
+	case 1:
+		return -1
+	}
+	return 0
+}
+
+func (p *drrip) useBRRIP(set int) bool {
+	switch p.leader(set) {
+	case 1:
+		return false
+	case -1:
+		return true
+	}
+	return p.psel < p.pselMax/2
+}
+
+func (p *drrip) Hit(set, way int, a Access) {
+	p.s.Hit(set, way, a)
+	p.b.Hit(set, way, a)
+}
+
+func (p *drrip) Fill(set, way int, a Access) {
+	// A fill implies the leader's policy missed; misses in a leader set
+	// vote against that leader.
+	switch p.leader(set) {
+	case 1:
+		if p.psel > 0 {
+			p.psel--
+		}
+	case -1:
+		if p.psel < p.pselMax {
+			p.psel++
+		}
+	}
+	if p.useBRRIP(set) {
+		p.b.Fill(set, way, a)
+		p.s.rrpv[set][way] = p.b.rrpv[set][way]
+	} else {
+		p.s.Fill(set, way, a)
+		p.b.rrpv[set][way] = p.s.rrpv[set][way]
+	}
+}
+
+func (p *drrip) Evict(set, way int) {
+	p.s.Evict(set, way)
+	p.b.Evict(set, way)
+}
+
+func (p *drrip) Victim(set, lo int, a Access) int {
+	if p.useBRRIP(set) {
+		v := p.b.Victim(set, lo, a)
+		copy(p.s.rrpv[set], p.b.rrpv[set])
+		return v
+	}
+	v := p.s.Victim(set, lo, a)
+	copy(p.b.rrpv[set], p.s.rrpv[set])
+	return v
+}
+
+// ---------------------------------------------------------------- SHiP
+
+// ship implements SHiP-PC: a signature history counter table predicts, per
+// load PC, whether filled lines will be reused, steering RRIP insertion.
+type ship struct {
+	*srrip
+	shct    []uint8 // 2-bit saturating counters per PC signature
+	sig     [][]uint16
+	reused  [][]bool
+	sigBits uint
+}
+
+// NewSHiP returns the SHiP-PC insertion policy over an SRRIP backbone.
+func NewSHiP(sets, ways int) Policy {
+	p := &ship{
+		srrip:   newRRIPBase("ship", sets, ways),
+		sigBits: 12,
+		sig:     make([][]uint16, sets),
+		reused:  make([][]bool, sets),
+	}
+	p.shct = make([]uint8, 1<<p.sigBits)
+	for i := range p.shct {
+		p.shct[i] = 1
+	}
+	for i := range p.sig {
+		p.sig[i] = make([]uint16, ways)
+		p.reused[i] = make([]bool, ways)
+	}
+	p.insertRRPV = func(int) uint8 { return rrpvDistant }
+	return p
+}
+
+func (p *ship) Name() string { return "ship" }
+
+func (p *ship) signature(a Access) uint16 {
+	return uint16(mem.HashPC(a.PC, p.sigBits))
+}
+
+func (p *ship) Hit(set, way int, a Access) {
+	p.srrip.Hit(set, way, a)
+	if !p.reused[set][way] {
+		p.reused[set][way] = true
+		s := p.sig[set][way]
+		if p.shct[s] < 3 {
+			p.shct[s]++
+		}
+	}
+}
+
+func (p *ship) Fill(set, way int, a Access) {
+	s := p.signature(a)
+	p.sig[set][way] = s
+	p.reused[set][way] = false
+	if p.shct[s] == 0 {
+		p.rrpv[set][way] = rrpvDistant
+	} else {
+		p.rrpv[set][way] = rrpvLong
+	}
+}
+
+func (p *ship) Evict(set, way int) {
+	if !p.reused[set][way] {
+		s := p.sig[set][way]
+		if p.shct[s] > 0 {
+			p.shct[s]--
+		}
+	}
+	p.srrip.Evict(set, way)
+}

@@ -1,0 +1,116 @@
+package replacement
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamline/internal/mem"
+)
+
+// Property tests: every policy must return victims within [lo, ways) under
+// arbitrary access sequences, and never corrupt its own state.
+
+func TestPropertyVictimRespectsLowerBound(t *testing.T) {
+	for _, name := range allPolicies() {
+		name := name
+		f := func(seed int64, loSel uint8, ops []uint16) bool {
+			const sets, ways = 8, 8
+			p := Factories[name](sets, ways)
+			rng := rand.New(rand.NewSource(seed))
+			lo := int(loSel) % ways
+			for _, op := range ops {
+				set := int(op) % sets
+				a := Access{PC: mem.PC(op >> 4), Line: mem.Line(op)}
+				switch op % 3 {
+				case 0:
+					w := lo + rng.Intn(ways-lo)
+					p.Fill(set, w, a)
+				case 1:
+					w := lo + rng.Intn(ways-lo)
+					p.Hit(set, w, a)
+				case 2:
+					v := p.Victim(set, lo, a)
+					if v < lo || v >= ways {
+						return false
+					}
+					p.Evict(set, v)
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestPropertyVictimFullLowerBound(t *testing.T) {
+	// With lo = ways-1 there is exactly one candidate.
+	for _, name := range allPolicies() {
+		p := Factories[name](4, 4)
+		for i := 0; i < 100; i++ {
+			a := Access{PC: 1, Line: mem.Line(i)}
+			p.Fill(i%4, 3, a)
+			if v := p.Victim(i%4, 3, a); v != 3 {
+				t.Errorf("%s: victim %d with single candidate", name, v)
+				break
+			}
+		}
+	}
+}
+
+func TestOracleReplayDeterministic(t *testing.T) {
+	f := func(seed int64, capSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lines := make([]mem.Line, 500)
+		for i := range lines {
+			lines[i] = mem.Line(rng.Intn(64))
+		}
+		stream := CorrelationsOf(lines)
+		capacity := int(capSel)%32 + 1
+		a := ReplayOracle(stream, capacity, TPMIN)
+		b := ReplayOracle(stream, capacity, TPMIN)
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOracleMonotoneInCapacity(t *testing.T) {
+	// More capacity can only help an optimal policy.
+	rng := rand.New(rand.NewSource(3))
+	var lines []mem.Line
+	for lap := 0; lap < 4; lap++ {
+		perm := rand.New(rand.NewSource(9)).Perm(200)
+		for _, p := range perm {
+			lines = append(lines, mem.Line(p))
+			if rng.Intn(3) == 0 {
+				lines = append(lines, mem.Line(500+rng.Intn(100)))
+			}
+		}
+	}
+	stream := CorrelationsOf(lines)
+	for _, kind := range []OracleKind{MIN, TPMIN} {
+		prev := uint64(0)
+		for _, capacity := range []int{8, 32, 128, 512} {
+			s := ReplayOracle(stream, capacity, kind)
+			metric := s.TriggerHits
+			if kind == TPMIN {
+				metric = s.CorrelationHits
+			}
+			if metric < prev {
+				t.Errorf("%v: hits decreased from %d to %d as capacity grew",
+					kind, prev, metric)
+			}
+			prev = metric
+		}
+	}
+}
+
+func TestOracleKindString(t *testing.T) {
+	if MIN.String() != "min" || TPMIN.String() != "tp-min" {
+		t.Error("oracle kind names wrong")
+	}
+}

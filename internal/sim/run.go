@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"streamline/internal/mem"
+	"streamline/internal/prefetch"
+	"streamline/internal/trace"
+)
+
+// coreAddrStride separates the cores' address spaces so identical workloads
+// on different cores never share lines in the LLC.
+const coreAddrStride mem.Addr = 1 << 44
+
+// accuracyEpoch is how often (in L2 prefetch fills) epoch accuracy is fed to
+// accuracy-consuming prefetchers, matching Streamline's 2048-prefetch epochs.
+const accuracyEpoch = 2048
+
+// step executes one trace record on core cs. It returns false when the
+// trace is exhausted.
+func (s *System) step(cs *coreState) bool {
+	rec, ok := cs.tr.Next()
+	if !ok {
+		return false
+	}
+	rec.Addr += coreAddrStride * mem.Addr(cs.id)
+
+	cs.core.Advance(rec.Instructions())
+	t := cs.core.BeginMem(rec.DependsOnPrev)
+
+	kind := mem.Load
+	if rec.IsWrite {
+		kind = mem.Store
+	}
+	acc := mem.Access{PC: rec.PC, Addr: rec.Addr, Kind: kind, Core: cs.id}
+	lat := s.demandAccess(cs, t, acc)
+
+	done := t + lat
+	if rec.IsWrite {
+		// Stores retire through the store buffer: the core does not wait
+		// for the miss, but the hierarchy state and traffic are real.
+		done = t + s.cfg.L1D.Latency
+	}
+	cs.core.EndMem(done, !rec.IsWrite)
+	return true
+}
+
+// demandAccess walks the hierarchy for a demand access beginning at cycle t
+// and returns its latency. Fills propagate upward; prefetchers train at
+// their attach levels and their requests are issued before returning.
+func (s *System) demandAccess(cs *coreState, t uint64, acc mem.Access) uint64 {
+	now := t + cs.l1d.PortDelay(t, true)
+
+	// ---- L1D
+	r1 := cs.l1d.Lookup(now, acc)
+	if r1.Hit {
+		lat := s.cfg.L1D.Latency + r1.ExtraWait
+		s.trainL1(cs, now, acc, true)
+		return now - t + lat
+	}
+	now += s.cfg.L1D.Latency // tag check before descending
+	// The miss holds an L1 MSHR until its fill returns; the true fill time
+	// is recorded below once known.
+	l1slot, l1delay := cs.l1d.MSHRReserve(now)
+	now += l1delay
+	complete := func(done uint64) uint64 {
+		cs.l1d.MSHRComplete(l1slot, done)
+		return done - t
+	}
+
+	// ---- L2
+	now += cs.l2.PortDelay(now, true)
+	r2 := cs.l2.Lookup(now, acc)
+	if r2.Hit {
+		done := now + s.cfg.L2.Latency + r2.ExtraWait
+		s.fillL1(cs, acc, done)
+		s.trainL1(cs, now, acc, false)
+		s.trainL2(cs, now, acc, true, r2.WasPrefetched)
+		return complete(done)
+	}
+	l2slot, l2delay := cs.l2.MSHRReserve(now)
+	now += l2delay
+
+	// ---- LLC (shared)
+	now += s.llc.PortDelay(now, true)
+	if obs, ok := cs.tempf.(prefetch.LLCDataObserver); ok {
+		obs.ObserveLLCData(s.llc.SetOf(acc.Line()), acc.Line())
+	}
+	r3 := s.llc.Lookup(now, acc)
+	if r3.Hit {
+		done := now + s.cfg.LLC.Latency + r3.ExtraWait
+		cs.l2.MSHRComplete(l2slot, done)
+		s.fillL2(cs, acc, done)
+		s.fillL1(cs, acc, done)
+		s.trainL1(cs, now, acc, false)
+		s.trainL2(cs, now, acc, false, false)
+		return complete(done)
+	}
+	now += s.cfg.LLC.Latency
+
+	// ---- DRAM
+	dlat := s.dram.Access(now, acc.Line(), false)
+	done := now + dlat
+	cs.l2.MSHRComplete(l2slot, done)
+	s.fillLLC(cs, acc, now, done)
+	s.fillL2(cs, acc, done)
+	s.fillL1(cs, acc, done)
+	s.trainL1(cs, now, acc, false)
+	s.trainL2(cs, now, acc, false, false)
+	return complete(done)
+}
+
+// fillL1 installs a line into the core's L1D, handling the victim. The
+// victim's writeback is issued at the fill's request time, not completion:
+// the eviction happens when the miss allocates.
+func (s *System) fillL1(cs *coreState, acc mem.Access, ready uint64) {
+	v := cs.l1d.Fill(acc, ready, false)
+	if v.Valid && v.Dirty {
+		s.writeback(cs, ready-s.cfg.L1D.Latency, v.Line, 2)
+	}
+}
+
+func (s *System) fillL2(cs *coreState, acc mem.Access, ready uint64) {
+	v := cs.l2.Fill(acc, ready, false)
+	if v.Valid && v.Dirty {
+		s.writeback(cs, ready-s.cfg.L2.Latency, v.Line, 3)
+	}
+}
+
+func (s *System) fillLLC(cs *coreState, acc mem.Access, now, ready uint64) {
+	v := s.llc.Fill(acc, ready, false)
+	if v.Valid && v.Dirty {
+		s.dram.Write(now, v.Line)
+	}
+}
+
+// writeback propagates a dirty eviction to the given level (2=L2, 3=LLC).
+// If the line is absent there it falls through to the DRAM write buffer.
+func (s *System) writeback(cs *coreState, now uint64, l mem.Line, level int) {
+	if level <= 2 {
+		if cs.l2.MarkDirty(l) {
+			return
+		}
+		level = 3
+	}
+	if level == 3 {
+		if s.llc.MarkDirty(l) {
+			return
+		}
+	}
+	s.dram.Write(now, l)
+}
+
+// trainL1 feeds the L1D prefetcher and issues its requests (fill into L1D).
+func (s *System) trainL1(cs *coreState, now uint64, acc mem.Access, hit bool) {
+	ev := prefetch.Event{
+		Now: now, PC: acc.PC, Addr: acc.Addr,
+		IsStore: acc.Kind == mem.Store, Hit: hit,
+	}
+	cs.reqBuf = cs.l1pf.Train(ev, cs.reqBuf[:0])
+	for _, req := range cs.reqBuf {
+		s.issuePrefetch(cs, now+req.Delay, req, 1)
+	}
+}
+
+// trainL2 feeds the L2 regular prefetcher on every L2 access and the
+// temporal prefetcher on misses and prefetch hits (its training events).
+func (s *System) trainL2(cs *coreState, now uint64, acc mem.Access, hit, prefetchHit bool) {
+	ev := prefetch.Event{
+		Now: now, PC: acc.PC, Addr: acc.Addr,
+		IsStore: acc.Kind == mem.Store, Hit: hit, PrefetchHit: prefetchHit,
+	}
+	cs.reqBuf = cs.l2pf.Train(ev, cs.reqBuf[:0])
+	for _, req := range cs.reqBuf {
+		s.issuePrefetch(cs, now+req.Delay, req, 2)
+	}
+	if !hit || prefetchHit {
+		cs.reqBuf = cs.tempf.Train(ev, cs.reqBuf[:0])
+		for _, req := range cs.reqBuf {
+			s.issuePrefetch(cs, now+req.Delay, req, 2)
+		}
+		s.feedAccuracy(cs)
+	}
+}
+
+// issuePrefetch resolves a prefetch request into fills. level 1 fills
+// L1D+L2; level 2 fills only the L2.
+func (s *System) issuePrefetch(cs *coreState, now uint64, req prefetch.Request, level int) {
+	acc := mem.Access{PC: 0, Addr: req.Addr, Kind: mem.Prefetch, Core: cs.id}
+	if cs.l2.Probe(acc.Line()) {
+		if level == 1 && !cs.l1d.Probe(acc.Line()) {
+			// Promote from L2 to L1 (the L2 lookup updates its
+			// replacement and prefetch-hit state).
+			cs.l2.Lookup(now, acc)
+			done := now + s.cfg.L2.Latency
+			v := cs.l1d.Fill(acc, done, true)
+			if v.Valid && v.Dirty {
+				s.writeback(cs, now, v.Line, 2)
+			}
+			cs.issued++
+		}
+		return
+	}
+	if level == 1 && cs.l1d.Probe(acc.Line()) {
+		return
+	}
+	cs.issued++
+
+	// Walk the lower hierarchy to find the data. Prefetch misses occupy
+	// L2 MSHRs like demand misses do, but yield the ports to demands.
+	now += cs.l2.PortDelay(now, false)
+	now += s.cfg.L2.Latency
+	l2slot, l2delay := cs.l2.MSHRReserve(now)
+	now += l2delay
+	var done uint64
+	now += s.llc.PortDelay(now, false)
+	r3 := s.llc.Lookup(now, acc)
+	if r3.Hit {
+		done = now + s.cfg.LLC.Latency + r3.ExtraWait
+	} else {
+		now += s.cfg.LLC.Latency
+		dlat := s.dram.Access(now, acc.Line(), false)
+		done = now + dlat
+		v := s.llc.Fill(acc, done, true)
+		if v.Valid && v.Dirty {
+			s.dram.Write(now, v.Line)
+		}
+	}
+	cs.l2.MSHRComplete(l2slot, done)
+	if level == 1 {
+		// L1 prefetches bypass the L2: filling it would pollute the L2's
+		// prefetch-accuracy accounting (demands are absorbed by the L1
+		// copy) and its capacity.
+		v := cs.l1d.Fill(acc, done, true)
+		if v.Valid && v.Dirty {
+			s.writeback(cs, now, v.Line, 2)
+		}
+		return
+	}
+	v := cs.l2.Fill(acc, done, true)
+	if v.Valid && v.Dirty {
+		s.writeback(cs, now, v.Line, 3)
+	}
+}
+
+// feedAccuracy delivers epoch prefetch accuracy to prefetchers that consume
+// it (Streamline's utility-aware partitioner).
+func (s *System) feedAccuracy(cs *coreState) {
+	ac, ok := cs.tempf.(prefetch.AccuracyConsumer)
+	if !ok {
+		return
+	}
+	fills := cs.l2.Stats.PrefetchFills
+	if fills-cs.lastFills < accuracyEpoch {
+		return
+	}
+	useful := cs.l2.Stats.UsefulPrefetches
+	df := fills - cs.lastFills
+	du := useful - cs.lastUseful
+	cs.lastFills, cs.lastUseful = fills, useful
+	if df > 0 {
+		acc := float64(du) / float64(df)
+		if acc > 1 {
+			acc = 1
+		}
+		ac.ObserveAccuracy(acc)
+	}
+}
+
+// Run drives all cores until each has executed warmup+measure instructions,
+// interleaving them by current cycle time so contention is modeled, and
+// returns the measured-phase results.
+func (s *System) Run() Result {
+	warm := s.cfg.WarmupInstructions
+	total := warm + s.cfg.MeasureInstructions
+	for {
+		// Pick the core with the earliest clock among unfinished cores.
+		var next *coreState
+		for _, cs := range s.cores {
+			if cs.done || cs.tr == nil {
+				continue
+			}
+			if next == nil || cs.core.Now() < next.core.Now() {
+				next = cs
+			}
+		}
+		if next == nil {
+			break
+		}
+		if !next.measured && next.core.Instructions() >= warm {
+			next.warmBase = s.snapshotCore(next)
+			next.measured = true
+		}
+		if next.core.Instructions() >= total {
+			next.final = s.snapshotCore(next)
+			next.done = true
+			continue
+		}
+		if !s.step(next) {
+			next.final = s.snapshotCore(next)
+			next.done = true
+		}
+	}
+	return s.collect()
+}
+
+// RunTrace is the single-core convenience: attach tr to core 0 and Run.
+func (s *System) RunTrace(tr trace.Trace) Result {
+	s.SetTrace(0, tr)
+	return s.Run()
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"streamline/internal/cache"
+	"streamline/internal/dram"
+	"streamline/internal/meta"
+	"streamline/internal/prefetch"
+)
+
+// snapshot captures the counters that measured-phase deltas are computed
+// from.
+type snapshot struct {
+	instr  uint64
+	cycles uint64
+	l1d    cache.Stats
+	l2     cache.Stats
+	issued uint64
+	meta   meta.Stats
+}
+
+func (s *System) snapshotCore(cs *coreState) snapshot {
+	sn := snapshot{
+		instr:  cs.core.Instructions(),
+		cycles: cs.core.Finish(),
+		l1d:    cs.l1d.Stats,
+		l2:     cs.l2.Stats,
+		issued: cs.issued,
+	}
+	if mr, ok := cs.tempf.(prefetch.MetaReporter); ok {
+		sn.meta = mr.MetaStats()
+	}
+	return sn
+}
+
+// CoreResult is one core's measured-phase statistics.
+type CoreResult struct {
+	Instructions uint64
+	Cycles       uint64
+	IPC          float64
+
+	L1D cache.Stats
+	L2  cache.Stats
+
+	PrefetchesIssued uint64
+
+	// Meta is the temporal prefetcher's metadata activity (zero when no
+	// temporal prefetcher is configured).
+	Meta meta.Stats
+}
+
+// L2MPKI returns L2 demand misses per kilo-instruction.
+func (r CoreResult) L2MPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.L2.DemandMisses) / float64(r.Instructions) * 1000
+}
+
+// PrefetchAccuracy returns useful prefetches over prefetch fills at the L2.
+func (r CoreResult) PrefetchAccuracy() float64 {
+	if r.L2.PrefetchFills == 0 {
+		return 0
+	}
+	return float64(r.L2.UsefulPrefetches) / float64(r.L2.PrefetchFills)
+}
+
+// Result is a full measured-phase report.
+type Result struct {
+	Cores []CoreResult
+	// LLC and DRAM are whole-run shared-resource statistics.
+	LLC  cache.Stats
+	DRAM dram.Stats
+}
+
+// IPC returns core 0's IPC (the single-core headline number).
+func (r Result) IPC() float64 {
+	if len(r.Cores) == 0 {
+		return 0
+	}
+	return r.Cores[0].IPC
+}
+
+// TotalMetaTraffic sums metadata traffic (blocks) across cores.
+func (r Result) TotalMetaTraffic() uint64 {
+	var t uint64
+	for _, c := range r.Cores {
+		t += c.Meta.Traffic()
+	}
+	return t
+}
+
+func subStats(a, b cache.Stats) cache.Stats {
+	return cache.Stats{
+		DemandAccesses:   a.DemandAccesses - b.DemandAccesses,
+		DemandHits:       a.DemandHits - b.DemandHits,
+		DemandMisses:     a.DemandMisses - b.DemandMisses,
+		PrefetchAccesses: a.PrefetchAccesses - b.PrefetchAccesses,
+		PrefetchHits:     a.PrefetchHits - b.PrefetchHits,
+		MetaReads:        a.MetaReads - b.MetaReads,
+		MetaWrites:       a.MetaWrites - b.MetaWrites,
+		PrefetchFills:    a.PrefetchFills - b.PrefetchFills,
+		UsefulPrefetches: a.UsefulPrefetches - b.UsefulPrefetches,
+		LatePrefetches:   a.LatePrefetches - b.LatePrefetches,
+		UnusedPrefetches: a.UnusedPrefetches - b.UnusedPrefetches,
+		Evictions:        a.Evictions - b.Evictions,
+		Writebacks:       a.Writebacks - b.Writebacks,
+		PortStallCycles:  a.PortStallCycles - b.PortStallCycles,
+		MSHRStallCycles:  a.MSHRStallCycles - b.MSHRStallCycles,
+		ExtraWaitCycles:  a.ExtraWaitCycles - b.ExtraWaitCycles,
+	}
+}
+
+func subMeta(a, b meta.Stats) meta.Stats {
+	return meta.Stats{
+		Lookups:         a.Lookups - b.Lookups,
+		TriggerHits:     a.TriggerHits - b.TriggerHits,
+		Inserts:         a.Inserts - b.Inserts,
+		Updates:         a.Updates - b.Updates,
+		Reads:           a.Reads - b.Reads,
+		Writes:          a.Writes - b.Writes,
+		RearrangeReads:  a.RearrangeReads - b.RearrangeReads,
+		RearrangeWrites: a.RearrangeWrites - b.RearrangeWrites,
+		FilteredInserts: a.FilteredInserts - b.FilteredInserts,
+		FilteredLookups: a.FilteredLookups - b.FilteredLookups,
+		AliasedInserts:  a.AliasedInserts - b.AliasedInserts,
+		Evictions:       a.Evictions - b.Evictions,
+		DroppedResize:   a.DroppedResize - b.DroppedResize,
+		Resizes:         a.Resizes - b.Resizes,
+	}
+}
+
+// collect assembles the measured-phase result after Run completes.
+func (s *System) collect() Result {
+	res := Result{LLC: s.llc.Stats, DRAM: s.dram.Stats}
+	for _, cs := range s.cores {
+		base, fin := cs.warmBase, cs.final
+		cr := CoreResult{
+			Instructions:     fin.instr - base.instr,
+			Cycles:           fin.cycles - base.cycles,
+			L1D:              subStats(fin.l1d, base.l1d),
+			L2:               subStats(fin.l2, base.l2),
+			PrefetchesIssued: fin.issued - base.issued,
+			Meta:             subMeta(fin.meta, base.meta),
+		}
+		if cr.Cycles > 0 {
+			cr.IPC = float64(cr.Instructions) / float64(cr.Cycles)
+		}
+		res.Cores = append(res.Cores, cr)
+	}
+	return res
+}

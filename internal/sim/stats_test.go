@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"streamline/internal/cache"
+	"streamline/internal/meta"
+)
+
+func TestSubStatsSelfIsZero(t *testing.T) {
+	f := func(a, b, c, d, e uint64) bool {
+		s := cache.Stats{
+			DemandAccesses: a, DemandHits: b, DemandMisses: c,
+			PrefetchFills: d, UsefulPrefetches: e,
+		}
+		return subStats(s, s) == (cache.Stats{})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubMetaSelfIsZero(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		s := meta.Stats{Lookups: a, TriggerHits: b, Reads: c}
+		return subMeta(s, s) == (meta.Stats{})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubStatsDeltas(t *testing.T) {
+	base := cache.Stats{DemandAccesses: 10, DemandHits: 4, Writebacks: 1}
+	fin := cache.Stats{DemandAccesses: 25, DemandHits: 14, Writebacks: 3}
+	d := subStats(fin, base)
+	if d.DemandAccesses != 15 || d.DemandHits != 10 || d.Writebacks != 2 {
+		t.Errorf("delta = %+v", d)
+	}
+}
+
+func TestCoreResultHelpers(t *testing.T) {
+	r := CoreResult{
+		Instructions: 2000,
+		L2: cache.Stats{
+			DemandMisses: 10, PrefetchFills: 8, UsefulPrefetches: 6,
+		},
+	}
+	if got := r.L2MPKI(); got != 5 {
+		t.Errorf("MPKI = %v, want 5", got)
+	}
+	if got := r.PrefetchAccuracy(); got != 0.75 {
+		t.Errorf("accuracy = %v, want 0.75", got)
+	}
+	var zero CoreResult
+	if zero.L2MPKI() != 0 || zero.PrefetchAccuracy() != 0 {
+		t.Error("zero-value helpers should return 0")
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	var empty Result
+	if empty.IPC() != 0 {
+		t.Error("empty result IPC should be 0")
+	}
+	r := Result{Cores: []CoreResult{
+		{IPC: 1.5, Meta: meta.Stats{Reads: 3, Writes: 2}},
+		{IPC: 0.5, Meta: meta.Stats{Reads: 1, RearrangeReads: 4}},
+	}}
+	if r.IPC() != 1.5 {
+		t.Errorf("IPC = %v, want core 0's", r.IPC())
+	}
+	if got := r.TotalMetaTraffic(); got != 10 {
+		t.Errorf("TotalMetaTraffic = %d, want 10", got)
+	}
+}

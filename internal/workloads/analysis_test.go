@@ -1,0 +1,97 @@
+package workloads
+
+import "testing"
+
+func analyze(t *testing.T, name string) Analysis {
+	t.Helper()
+	w, err := Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(w, Scale{Footprint: 0.05}, 1, 300_000)
+}
+
+func TestChaseArchetype(t *testing.T) {
+	a := analyze(t, "sphinx06")
+	if a.DependentFraction < 0.9 {
+		t.Errorf("chase dependent fraction = %.2f, want >= 0.9", a.DependentFraction)
+	}
+	if a.PairStability < 0.9 {
+		t.Errorf("stable chase pair stability = %.2f, want >= 0.9", a.PairStability)
+	}
+	if a.SequentialFraction > 0.1 {
+		t.Errorf("chase sequential fraction = %.2f, want tiny", a.SequentialFraction)
+	}
+}
+
+func TestStreamingArchetype(t *testing.T) {
+	a := analyze(t, "libquantum06")
+	if a.SequentialFraction < 0.9 {
+		t.Errorf("streaming sequential fraction = %.2f, want >= 0.9", a.SequentialFraction)
+	}
+	if a.DependentFraction > 0.01 {
+		t.Errorf("streaming dependent fraction = %.2f, want ~0", a.DependentFraction)
+	}
+	if a.StoreFraction < 0.1 {
+		t.Errorf("lbm-style store fraction = %.2f, want >= 0.1", a.StoreFraction)
+	}
+}
+
+func TestGatherArchetype(t *testing.T) {
+	a := analyze(t, "pr")
+	// The edge stream is sequential; the gathers are not: a mix.
+	if a.SequentialFraction < 0.2 || a.SequentialFraction > 0.9 {
+		t.Errorf("gather sequential fraction = %.2f, want mixed", a.SequentialFraction)
+	}
+	// Mostly-unique cold gathers keep pairwise stability moderate-high.
+	if a.PairStability < 0.5 {
+		t.Errorf("gather pair stability = %.2f, want >= 0.5", a.PairStability)
+	}
+	if a.PCs < 2 {
+		t.Errorf("gather PCs = %d, want >= 2", a.PCs)
+	}
+}
+
+func TestScanChurnArchetype(t *testing.T) {
+	// xz churns 65% of its schedule per lap: pair stability must be well
+	// below the stable chases'.
+	churn := analyze(t, "xz17")
+	stable := analyze(t, "gcc17")
+	if churn.PairStability >= stable.PairStability {
+		t.Errorf("xz stability %.2f >= gcc %.2f", churn.PairStability, stable.PairStability)
+	}
+}
+
+func TestCacheResidentArchetype(t *testing.T) {
+	a := analyze(t, "bzip206")
+	if a.LineMultiplicity < 5 {
+		t.Errorf("cache-resident multiplicity = %.1f, want high reuse", a.LineMultiplicity)
+	}
+	if a.PairStability > 0.5 {
+		t.Errorf("random hot-set stability = %.2f, want low", a.PairStability)
+	}
+}
+
+func TestAnalyzeEmptyBudget(t *testing.T) {
+	w, _ := Get("pr")
+	a := Analyze(w, Scale{Footprint: 0.05}, 1, 0)
+	if a.Records != 0 {
+		t.Errorf("zero budget analyzed %d records", a.Records)
+	}
+}
+
+func TestEveryWorkloadHasSaneAnalysis(t *testing.T) {
+	for _, w := range All() {
+		a := Analyze(w, Scale{Footprint: 0.05}, 2, 100_000)
+		if a.Records == 0 {
+			t.Errorf("%s: no records analyzed", w.Name)
+			continue
+		}
+		if a.FootprintLines < 32 {
+			t.Errorf("%s: footprint only %d lines", w.Name, a.FootprintLines)
+		}
+		if a.Instructions < a.Records {
+			t.Errorf("%s: instructions < records", w.Name)
+		}
+	}
+}

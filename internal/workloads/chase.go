@@ -1,0 +1,230 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"streamline/internal/mem"
+	"streamline/internal/trace"
+)
+
+// The pointer-chase family models the irregular SPEC workloads (mcf, sphinx,
+// omnetpp): linked traversals whose node-visit order repeats across outer
+// iterations, producing long correlated address sequences — the bread and
+// butter of temporal prefetching.
+
+// chaseSource walks a random permutation cycle over nodes of one cache line
+// each. Every lap revisits the nodes in the same order, except that mutate
+// fraction of the links are rewired each lap (modeling slowly changing data
+// structures) and scanLines of sequential scan traffic is interleaved every
+// scanEvery chase steps (modeling mcf's pointer+scan phases).
+type chaseSource struct {
+	name      string
+	nodes     int
+	mutate    float64 // fraction of links rewired per lap
+	scanLines int     // sequential lines scanned per lap (0 = no scans)
+	scanEvery int     // chase steps between scan bursts
+	nonMem    uint8
+
+	rng   *rand.Rand
+	next  []int32 // permutation: next[i] is the node after i
+	data  array
+	scan  array
+	cur   int
+	sbase int // rotating scan start so scans sweep the scan region
+}
+
+func (c *chaseSource) Reset(rng *rand.Rand) {
+	c.rng = rng
+	a := newArena()
+	c.data = a.array(c.nodes, mem.LineSize)
+	if c.scanLines > 0 {
+		c.scan = a.array(c.scanLines*8, mem.LineSize)
+	}
+	c.next = randomCycle(c.nodes, rng)
+	c.cur = 0
+	c.sbase = 0
+}
+
+// randomCycle returns a single-cycle permutation of n elements, so a chase
+// starting anywhere visits every node before repeating.
+func randomCycle(n int, rng *rand.Rand) []int32 {
+	order := rng.Perm(n)
+	next := make([]int32, n)
+	for i := 0; i < n; i++ {
+		next[order[i]] = int32(order[(i+1)%n])
+	}
+	return next
+}
+
+func (c *chaseSource) Lap(emit func(trace.Record)) {
+	e := &emitter{emit: emit, nonMem: c.nonMem}
+	pc := pcBase(c.name)
+	scanPC := pc + 8
+	steps := c.nodes
+	scanPer := 0
+	if c.scanLines > 0 && c.scanEvery > 0 {
+		scanPer = c.scanLines / (steps / c.scanEvery)
+		if scanPer < 1 {
+			scanPer = 1
+		}
+	}
+	scanPos := c.sbase
+	for i := 0; i < steps; i++ {
+		e.chase(pc, c.data.at(c.cur))
+		c.cur = int(c.next[c.cur])
+		if scanPer > 0 && i%c.scanEvery == c.scanEvery-1 {
+			for j := 0; j < scanPer; j++ {
+				e.load(scanPC, c.scan.at(scanPos%(c.scanLines*8)))
+				scanPos++
+			}
+		}
+	}
+	c.sbase = scanPos
+	if c.mutate > 0 {
+		c.rewire()
+	}
+}
+
+// rewire splices random short segments to new positions in the cycle.
+// Unlike a successor swap — which would split the cycle into disjoint
+// subcycles and strand the walker on a fragment — a splice preserves the
+// single-cycle property while changing three correlations per mutation.
+func (c *chaseSource) rewire() {
+	splices := int(float64(c.nodes) * c.mutate / 3)
+	for s := 0; s < splices; s++ {
+		a := int32(c.rng.Intn(c.nodes))
+		segLen := 1 + c.rng.Intn(4)
+		// Segment (start..end) follows a; dest must lie outside it.
+		start := c.next[a]
+		end := start
+		inSeg := map[int32]bool{a: true, start: true}
+		for k := 1; k < segLen; k++ {
+			end = c.next[end]
+			inSeg[end] = true
+		}
+		after := c.next[end]
+		if inSeg[after] {
+			continue // segment wrapped near a; skip
+		}
+		// Walk forward a random distance to find the destination.
+		b := after
+		for k := c.rng.Intn(64); k > 0; k-- {
+			b = c.next[b]
+		}
+		if inSeg[b] {
+			continue
+		}
+		// Cut the segment out and splice it after b.
+		c.next[a] = after
+		c.next[end] = c.next[b]
+		c.next[b] = start
+	}
+}
+
+// poolSource models omnetpp-style discrete-event simulation: a pool of event
+// objects visited in a mostly-stable priority order with Zipf-biased reuse.
+// A fraction of each lap's schedule is perturbed, so correlations are strong
+// but not perfect.
+type poolSource struct {
+	name    string
+	events  int
+	perturb float64 // fraction of schedule slots randomized per lap
+	hot     int     // hot event objects revisited with extra loads
+	nonMem  uint8
+
+	rng      *rand.Rand
+	schedule []int32
+	objs     array
+	hotObjs  array
+}
+
+func (p *poolSource) Reset(rng *rand.Rand) {
+	p.rng = rng
+	a := newArena()
+	p.objs = a.array(p.events, mem.LineSize)
+	p.hotObjs = a.array(p.hot, mem.LineSize)
+	// The schedule is a permutation: each event object is handled once per
+	// lap, in a fixed irregular order (an event calendar's steady state).
+	p.schedule = make([]int32, p.events)
+	for i, v := range rng.Perm(p.events) {
+		p.schedule[i] = int32(v)
+	}
+}
+
+func (p *poolSource) Lap(emit func(trace.Record)) {
+	e := &emitter{emit: emit, nonMem: p.nonMem}
+	pc := pcBase(p.name)
+	hotPC := pc + 8
+	for i, ev := range p.schedule {
+		e.chase(pc, p.objs.at(int(ev)))
+		if i&7 == 0 { // periodic touch of hot bookkeeping state
+			e.load(hotPC, p.hotObjs.at(i%p.hot))
+		}
+	}
+	if p.perturb > 0 {
+		// Swap schedule slots so the order churns without duplicating
+		// events (new events replace finished ones in real calendars).
+		n := int(float64(len(p.schedule)) * p.perturb / 2)
+		for i := 0; i < n; i++ {
+			a := p.rng.Intn(len(p.schedule))
+			b := p.rng.Intn(len(p.schedule))
+			p.schedule[a], p.schedule[b] = p.schedule[b], p.schedule[a]
+		}
+	}
+}
+
+func init() {
+	register(Workload{
+		Name: "mcf06", Suite: SPEC06, Irregular: true,
+		Build: func(s Scale) LapSource {
+			return &chaseSource{name: "mcf06", nodes: s.size(96 << 10),
+				mutate: 0.02, scanLines: 2 << 10, scanEvery: 32, nonMem: 3}
+		},
+	})
+	register(Workload{
+		Name: "sphinx06", Suite: SPEC06, Irregular: true,
+		Build: func(s Scale) LapSource {
+			return &chaseSource{name: "sphinx06", nodes: s.size(288 << 10),
+				mutate: 0.005, nonMem: 4}
+		},
+	})
+	register(Workload{
+		Name: "omnetpp06", Suite: SPEC06, Irregular: true,
+		Build: func(s Scale) LapSource {
+			return &poolSource{name: "omnetpp06", events: s.size(64 << 10),
+				perturb: 0.02, hot: 512, nonMem: 3}
+		},
+	})
+	register(Workload{
+		Name: "astar06", Suite: SPEC06, Irregular: true,
+		Build: func(s Scale) LapSource {
+			// Pathfinding: linked search whose explored region shifts a
+			// little between searches.
+			return &chaseSource{name: "astar06", nodes: s.size(56 << 10),
+				mutate: 0.04, nonMem: 4}
+		},
+	})
+	register(Workload{
+		Name: "xalancbmk06", Suite: SPEC06, Irregular: true,
+		Build: func(s Scale) LapSource {
+			// DOM-tree walks: event-pool traversal in a highly stable
+			// order with a hot symbol table.
+			return &poolSource{name: "xalancbmk06", events: s.size(48 << 10),
+				perturb: 0.01, hot: 768, nonMem: 4}
+		},
+	})
+	register(Workload{
+		Name: "mcf17", Suite: SPEC17, Irregular: true,
+		Build: func(s Scale) LapSource {
+			return &chaseSource{name: "mcf17", nodes: s.size(128 << 10),
+				mutate: 0.03, scanLines: 4 << 10, scanEvery: 24, nonMem: 3}
+		},
+	})
+	register(Workload{
+		Name: "omnetpp17", Suite: SPEC17, Irregular: true,
+		Build: func(s Scale) LapSource {
+			return &poolSource{name: "omnetpp17", events: s.size(88 << 10),
+				perturb: 0.04, hot: 1024, nonMem: 3}
+		},
+	})
+}

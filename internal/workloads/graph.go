@@ -1,0 +1,261 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"streamline/internal/mem"
+	"streamline/internal/trace"
+)
+
+// The graph family models the GAP benchmark suite: vertex-centric analytics
+// over a synthetic power-law graph. Property arrays use one cache line per
+// vertex (fat vertex records), so every gather touches a distinct line and
+// the per-iteration gather sequence — identical lap after lap — is the long
+// correlated stream that gives temporal prefetchers their largest wins.
+
+// graph is a CSR-format directed graph.
+type graph struct {
+	n       int
+	offsets []int32
+	edges   []int32
+}
+
+// buildGraph creates a graph with n vertices and roughly n*avgDeg edges whose
+// in-degree distribution is skewed (preferential attachment-ish), mirroring
+// the power-law structure of the GAP inputs.
+func buildGraph(n, avgDeg int, rng *rand.Rand) *graph {
+	deg := make([]int32, n)
+	total := 0
+	for i := range deg {
+		d := 1 + rng.Intn(2*avgDeg-1) // mean avgDeg, min 1
+		deg[i] = int32(d)
+		total += d
+	}
+	g := &graph{n: n, offsets: make([]int32, n+1), edges: make([]int32, total)}
+	for i := 0; i < n; i++ {
+		g.offsets[i+1] = g.offsets[i] + deg[i]
+	}
+	// Skewed endpoint sampling: a fourth-power uniform sample concentrates
+	// in-edges on low vertex ids, giving the heavy-tailed in-degree
+	// distribution of real graphs. The hot endpoints stay cache-resident,
+	// so the miss stream a temporal prefetcher trains on is dominated by
+	// cold, mostly-single-occurrence vertices — stable correlations.
+	for i := range g.edges {
+		u := rng.Float64()
+		v := int(u * u * u * u * float64(n))
+		if v >= n {
+			v = n - 1
+		}
+		g.edges[i] = int32(v)
+	}
+	return g
+}
+
+// gatherSource is the shared skeleton of the GAP kernels: stream through
+// the edge list and gather a property line per edge. Edge targets split
+// into a hot head (hub vertices, revisited often and therefore
+// cache-resident) and a cold mass that — as in real graphs, where the
+// expected per-iteration repeat count of a non-hub vertex is about one —
+// each appear once per lap, in a fixed irregular order. The cold gather
+// sequence is the long repeating correlated stream temporal prefetchers
+// exist for. Variants layer dependent gathers and per-lap mutation on top.
+type gatherSource struct {
+	name    string
+	edges   int     // gathers per lap
+	hubs    int     // hot vertex lines (cache-resident head)
+	hotFrac float64 // fraction of gathers that touch the hot head
+	chase   bool    // dependent gathers (rank propagation via pointers)
+	mutate  float64 // fraction of the cold order reshuffled per lap
+	writeTo bool    // write a result line per 8 edges
+	nonMem  uint8
+
+	rng    *rand.Rand
+	isHot  []bool  // per edge slot
+	hotIdx []int32 // hub index per hot slot
+	cold   []int32 // permutation of cold lines over cold slots
+	hot    array
+	coldA  array
+	out    array
+	edgeA  array
+}
+
+func (g *gatherSource) Reset(rng *rand.Rand) {
+	g.rng = rng
+	g.isHot = make([]bool, g.edges)
+	g.hotIdx = make([]int32, g.edges)
+	nCold := 0
+	for i := range g.isHot {
+		if rng.Float64() < g.hotFrac {
+			g.isHot[i] = true
+			// Zipf-ish hub choice: squared uniform concentrates on few.
+			u := rng.Float64()
+			g.hotIdx[i] = int32(u * u * float64(g.hubs))
+		} else {
+			nCold++
+		}
+	}
+	perm := rng.Perm(nCold)
+	g.cold = make([]int32, 0, nCold)
+	for _, p := range perm {
+		g.cold = append(g.cold, int32(p))
+	}
+	a := newArena()
+	g.hot = a.array(g.hubs, mem.LineSize)
+	g.coldA = a.array(nCold, mem.LineSize)
+	g.out = a.array(g.edges/8+1, mem.LineSize)
+	g.edgeA = a.array(g.edges, 4)
+}
+
+func (g *gatherSource) Lap(emit func(trace.Record)) {
+	e := &emitter{emit: emit, nonMem: g.nonMem}
+	pc := pcBase(g.name)
+	edgePC, gatherPC, outPC := pc, pc+8, pc+16
+	coldPos := 0
+	for ei := 0; ei < g.edges; ei++ {
+		e.load(edgePC, g.edgeA.at(ei)) // sequential edge stream
+		var target mem.Addr
+		if g.isHot[ei] {
+			target = g.hot.at(int(g.hotIdx[ei]))
+		} else {
+			target = g.coldA.at(int(g.cold[coldPos]))
+			coldPos++
+		}
+		if g.chase {
+			e.chase(gatherPC, target)
+		} else {
+			e.load(gatherPC, target)
+		}
+		if g.writeTo && ei%8 == 7 {
+			e.store(outPC, g.out.at(ei/8))
+		}
+	}
+	if g.mutate > 0 {
+		n := int(float64(len(g.cold)) * g.mutate)
+		for i := 0; i < n; i++ {
+			a := g.rng.Intn(len(g.cold))
+			b := g.rng.Intn(len(g.cold))
+			g.cold[a], g.cold[b] = g.cold[b], g.cold[a]
+		}
+	}
+}
+
+// bfsSource runs repeated BFS traversals from a fixed source: the vertex
+// visit order is the BFS frontier order (each vertex once per lap —
+// exactly the unique-per-iteration stream of real BFS), and each visit
+// also streams the vertex's edge list.
+type bfsSource struct {
+	name   string
+	n      int
+	avgDeg int
+	nonMem uint8
+
+	g     *graph
+	order []int32 // precomputed BFS vertex visit order
+	dist  array
+	edgeA array
+}
+
+func (b *bfsSource) Reset(rng *rand.Rand) {
+	b.g = buildGraph(b.n, b.avgDeg, rng)
+	a := newArena()
+	b.dist = a.array(b.n, mem.LineSize)
+	b.edgeA = a.array(len(b.g.edges), 4)
+	b.order = bfsOrder(b.g, 0)
+}
+
+// bfsOrder returns the vertex visit order of a BFS from src, including
+// unreached vertices appended in id order (GAP BFS re-seeds components).
+func bfsOrder(g *graph, src int) []int32 {
+	seen := make([]bool, g.n)
+	order := make([]int32, 0, g.n)
+	queue := make([]int32, 0, g.n)
+	enqueue := func(v int32) {
+		if !seen[v] {
+			seen[v] = true
+			queue = append(queue, v)
+		}
+	}
+	enqueue(int32(src))
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		order = append(order, v)
+		for ei := g.offsets[v]; ei < g.offsets[v+1]; ei++ {
+			enqueue(g.edges[ei])
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		if !seen[v] {
+			seen[int32(v)] = true
+			queue = append(queue, int32(v))
+			for head := len(queue) - 1; head < len(queue); head++ {
+				u := queue[head]
+				order = append(order, u)
+				for ei := g.offsets[u]; ei < g.offsets[u+1]; ei++ {
+					enqueue(g.edges[ei])
+				}
+			}
+		}
+	}
+	return order
+}
+
+func (b *bfsSource) Lap(emit func(trace.Record)) {
+	e := &emitter{emit: emit, nonMem: b.nonMem}
+	pc := pcBase(b.name)
+	edgePC, visitPC := pc, pc+8
+	for _, v := range b.order {
+		// The frontier-order dist access: irregular, once per vertex per
+		// lap, identical order across laps.
+		e.load(visitPC, b.dist.at(int(v)))
+		for ei := b.g.offsets[v]; ei < b.g.offsets[v+1]; ei++ {
+			e.load(edgePC, b.edgeA.at(int(ei)))
+		}
+	}
+}
+
+func init() {
+	register(Workload{
+		Name: "pr", Suite: GAP, Irregular: true,
+		Build: func(s Scale) LapSource {
+			return &gatherSource{name: "pr", edges: s.size(160 << 10),
+				hubs: s.size(8 << 10), hotFrac: 0.25, writeTo: true, nonMem: 2}
+		},
+	})
+	register(Workload{
+		Name: "cc", Suite: GAP, Irregular: true,
+		Build: func(s Scale) LapSource {
+			return &gatherSource{name: "cc", edges: s.size(128 << 10),
+				hubs: s.size(6 << 10), hotFrac: 0.3, mutate: 0.01, nonMem: 2}
+		},
+	})
+	register(Workload{
+		Name: "bc", Suite: GAP, Irregular: true,
+		Build: func(s Scale) LapSource {
+			return &gatherSource{name: "bc", edges: s.size(112 << 10),
+				hubs: s.size(6 << 10), hotFrac: 0.25, chase: true,
+				writeTo: true, nonMem: 2}
+		},
+	})
+	register(Workload{
+		Name: "bfs", Suite: GAP, Irregular: true,
+		Build: func(s Scale) LapSource {
+			return &bfsSource{name: "bfs", n: s.size(96 << 10), avgDeg: 4, nonMem: 2}
+		},
+	})
+	register(Workload{
+		Name: "tc", Suite: GAP, Irregular: true,
+		Build: func(s Scale) LapSource {
+			// Triangle counting: dense dependent gathers over a hotter
+			// head (hub-hub edges dominate).
+			return &gatherSource{name: "tc", edges: s.size(96 << 10),
+				hubs: s.size(4 << 10), hotFrac: 0.4, chase: true, nonMem: 2}
+		},
+	})
+	register(Workload{
+		Name: "sssp", Suite: GAP, Irregular: true,
+		Build: func(s Scale) LapSource {
+			// SSSP's bucketed relaxations: BFS-like order with denser edges.
+			return &bfsSource{name: "sssp", n: s.size(72 << 10), avgDeg: 6, nonMem: 3}
+		},
+	})
+}

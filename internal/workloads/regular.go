@@ -1,0 +1,172 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"streamline/internal/mem"
+	"streamline/internal/trace"
+)
+
+// The regular family models the streaming and strided SPEC workloads
+// (libquantum, lbm, roms, bzip2, soplex, xz). Stride prefetchers cover most
+// of these; they exist in the suite so the temporal prefetchers are measured
+// on workloads where their metadata partition is pure cost — the dynamic
+// partitioners must learn to shrink it.
+
+// streamSource sweeps one or more large arrays sequentially at 8-byte
+// element granularity (eight touches per cache line, like real array code),
+// writing a fraction of elements (lbm-style read-modify-write streaming).
+type streamSource struct {
+	name    string
+	lines   int // lines per array
+	arrays  int
+	stride  int     // element stride within each sweep
+	storePW float64 // probability a touch is a store
+	nonMem  uint8
+
+	rng  *rand.Rand
+	arrs []array
+}
+
+func (s *streamSource) Reset(rng *rand.Rand) {
+	s.rng = rng
+	a := newArena()
+	s.arrs = make([]array, s.arrays)
+	for i := range s.arrs {
+		s.arrs[i] = a.array(s.lines*8, 8)
+	}
+}
+
+func (s *streamSource) Lap(emit func(trace.Record)) {
+	e := &emitter{emit: emit, nonMem: s.nonMem}
+	pc := pcBase(s.name)
+	stride := s.stride
+	if stride < 1 {
+		stride = 1
+	}
+	for ai, arr := range s.arrs {
+		apc := pc + mem.PC(8*ai)
+		for i := 0; i < s.lines*8; i += stride {
+			if s.storePW > 0 && s.rng.Float64() < s.storePW {
+				e.store(apc, arr.at(i))
+			} else {
+				e.load(apc, arr.at(i))
+			}
+		}
+	}
+}
+
+// stencilSource models roms/lbm-style structured-grid sweeps: for each
+// interior point, load a small neighborhood at fixed offsets (rows apart)
+// and store the result. Cells are 8-byte elements, giving multiple
+// concurrent fixed strides — ideal for stride/Berti prefetchers, useless
+// for temporal ones.
+type stencilSource struct {
+	name   string
+	rows   int
+	cols   int // elements per row
+	nonMem uint8
+
+	grid array
+	outg array
+}
+
+func (s *stencilSource) Reset(rng *rand.Rand) {
+	a := newArena()
+	s.grid = a.array(s.rows*s.cols, 8)
+	s.outg = a.array(s.rows*s.cols, 8)
+}
+
+func (s *stencilSource) Lap(emit func(trace.Record)) {
+	e := &emitter{emit: emit, nonMem: s.nonMem}
+	pc := pcBase(s.name)
+	for r := 1; r < s.rows-1; r++ {
+		for c := 0; c < s.cols; c++ {
+			i := r*s.cols + c
+			e.load(pc, s.grid.at(i-s.cols)) // north
+			e.load(pc+8, s.grid.at(i))      // center
+			e.load(pc+16, s.grid.at(i+s.cols))
+			e.store(pc+24, s.outg.at(i))
+		}
+	}
+}
+
+// cacheResidentSource models bzip2-like low-MPKI behavior: a working set
+// that fits in the L2 with occasional excursions to a larger table. Almost
+// no LLC misses, so any space a temporal prefetcher steals from the LLC is
+// wasted — this is the workload the paper says penalizes Streamline's 64
+// permanently allocated metadata sets.
+type cacheResidentSource struct {
+	name      string
+	hotLines  int // L2-resident working set
+	coldLines int // rarely-touched overflow table
+	steps     int
+	nonMem    uint8
+
+	rng  *rand.Rand
+	hot  array
+	cold array
+}
+
+func (c *cacheResidentSource) Reset(rng *rand.Rand) {
+	c.rng = rng
+	a := newArena()
+	c.hot = a.array(c.hotLines, mem.LineSize)
+	c.cold = a.array(c.coldLines, mem.LineSize)
+}
+
+func (c *cacheResidentSource) Lap(emit func(trace.Record)) {
+	e := &emitter{emit: emit, nonMem: c.nonMem}
+	pc := pcBase(c.name)
+	for i := 0; i < c.steps; i++ {
+		e.load(pc, c.hot.at(c.rng.Intn(c.hotLines)))
+		if i&63 == 0 {
+			e.load(pc+8, c.cold.at(c.rng.Intn(c.coldLines)))
+		}
+	}
+}
+
+func init() {
+	register(Workload{
+		Name: "libquantum06", Suite: SPEC06, Irregular: false,
+		Build: func(s Scale) LapSource {
+			return &streamSource{name: "libquantum06", lines: s.size(96 << 10),
+				arrays: 2, storePW: 0.3, nonMem: 2}
+		},
+	})
+	register(Workload{
+		Name: "lbm17", Suite: SPEC17, Irregular: false,
+		Build: func(s Scale) LapSource {
+			return &streamSource{name: "lbm17", lines: s.size(48 << 10),
+				arrays: 4, storePW: 0.5, nonMem: 2}
+		},
+	})
+	register(Workload{
+		Name: "roms17", Suite: SPEC17, Irregular: false,
+		Build: func(s Scale) LapSource {
+			return &stencilSource{name: "roms17", rows: s.size(256), cols: 2048, nonMem: 3}
+		},
+	})
+	register(Workload{
+		Name: "leslie3d06", Suite: SPEC06, Irregular: false,
+		Build: func(s Scale) LapSource {
+			// Multi-stride fluid dynamics sweeps.
+			return &streamSource{name: "leslie3d06", lines: s.size(40 << 10),
+				arrays: 3, stride: 2, storePW: 0.25, nonMem: 3}
+		},
+	})
+	register(Workload{
+		Name: "cactu17", Suite: SPEC17, Irregular: false,
+		Build: func(s Scale) LapSource {
+			// A wider stencil grid than roms.
+			return &stencilSource{name: "cactu17", rows: s.size(320), cols: 1536, nonMem: 4}
+		},
+	})
+	register(Workload{
+		Name: "bzip206", Suite: SPEC06, Irregular: false,
+		Build: func(s Scale) LapSource {
+			return &cacheResidentSource{name: "bzip206", hotLines: s.size(6 << 10),
+				coldLines: s.size(64 << 10), steps: 256 << 10, nonMem: 4}
+		},
+	})
+}
