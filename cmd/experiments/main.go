@@ -6,14 +6,24 @@
 //	experiments -run fig9
 //	experiments -run all -scale paper
 //	experiments -run fig10a,fig13b -v
+//	experiments -run all -jobs 8 -json results.json
+//
+// Independent simulations (one per configuration x workload x mix) run on a
+// bounded worker pool; -jobs sets its size. Table output on stdout is
+// byte-identical for every -jobs value: results are aggregated in
+// deterministic job order, and everything scheduling-dependent (progress,
+// timings) goes to stderr.
 package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -22,11 +32,14 @@ import (
 
 func main() {
 	var (
-		runIDs  = flag.String("run", "", "comma-separated experiment ids, or 'all'")
-		scale   = flag.String("scale", "small", "experiment scale: small or paper")
-		list    = flag.Bool("list", false, "list available experiments")
-		verbose = flag.Bool("v", false, "print per-run progress")
-		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		runIDs   = flag.String("run", "", "comma-separated experiment ids, or 'all'")
+		scale    = flag.String("scale", "small", "experiment scale: small or paper")
+		list     = flag.Bool("list", false, "list available experiments")
+		verbose  = flag.Bool("v", false, "print per-run progress")
+		quiet    = flag.Bool("q", false, "suppress per-job progress/ETA reporting on stderr")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation jobs (1 = serial)")
+		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
+		jsonDest = flag.String("json", "", "write all results as JSON to this file ('-' for stdout)")
 	)
 	flag.Parse()
 
@@ -67,6 +80,10 @@ func main() {
 	}
 
 	runner := exp.NewRunner(sc)
+	runner.Jobs = *jobs
+	if !*quiet {
+		runner.JobProgress = os.Stderr
+	}
 	if *verbose {
 		runner.Progress = os.Stderr
 	}
@@ -76,10 +93,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	report := jsonReport{Scale: sc.Name, Jobs: runner.Jobs}
 	for _, e := range selected {
 		start := time.Now()
 		fmt.Printf("# %s — %s (%s scale)\n", e.ID, e.Title, sc.Name)
-		for _, t := range e.Run(runner) {
+		tables := e.Run(runner)
+		for _, t := range tables {
 			fmt.Println(t)
 			if *csvDir != "" {
 				if err := writeCSV(*csvDir, t); err != nil {
@@ -88,8 +107,50 @@ func main() {
 				}
 			}
 		}
-		fmt.Printf("# %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Println()
+		// Wall-clock lines are scheduling-dependent; keep stdout
+		// byte-identical across -jobs values by reporting them on stderr.
+		fmt.Fprintf(os.Stderr, "# %s done in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+		report.Experiments = append(report.Experiments, jsonExperiment{
+			ID: e.ID, Title: e.Title, Tables: tables,
+		})
 	}
+	if *jsonDest != "" {
+		if err := writeJSON(*jsonDest, report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// jsonReport is the -json results document: everything the text tables
+// carry, machine-readable, with no scheduling-dependent fields so the same
+// run configuration always serializes identically.
+type jsonReport struct {
+	Scale       string           `json:"scale"`
+	Jobs        int              `json:"jobs"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+type jsonExperiment struct {
+	ID     string      `json:"id"`
+	Title  string      `json:"title"`
+	Tables []exp.Table `json:"tables"`
+}
+
+func writeJSON(dest string, report jsonReport) error {
+	var w io.Writer = os.Stdout
+	if dest != "-" {
+		f, err := os.Create(dest)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
 }
 
 // writeCSV saves one result table as <dir>/<id>.csv.

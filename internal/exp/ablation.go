@@ -76,7 +76,9 @@ func init() {
 				Columns: []string{"arm", "coverage", "accuracy", "speedup"}}
 			base := baseArm("stride", "")
 			ws := r.Scale.irregular()
-			for _, arm := range ablationVariants() {
+			variants := ablationVariants()
+			r.Precompute(Singles(append([]Arm{base}, variants...), ws))
+			for _, arm := range variants {
 				var cov, acc, spd []float64
 				for _, w := range ws {
 					b := r.Run(base, w.Name)
@@ -101,6 +103,8 @@ func init() {
 			base := baseArm("stride", "")
 			ws := r.Scale.irregular()
 			mb := r.Scale.MetaBytes
+			fracVariants := map[int][]Arm{}
+			all := []Arm{base}
 			for _, frac := range []int{2, 4} {
 				sz := mb / frac
 				variants := []Arm{
@@ -115,7 +119,13 @@ func init() {
 					streamlineArm(fmt.Sprintf("hybrid-%d", frac), "stride", "",
 						func(o *core.Options) { o.FixedBytes = sz; o.Hybrid = true }),
 				}
-				for _, arm := range variants {
+				fracVariants[frac] = variants
+				all = append(all, variants...)
+			}
+			r.Precompute(Singles(all, ws))
+			for _, frac := range []int{2, 4} {
+				sz := mb / frac
+				for _, arm := range fracVariants[frac] {
 					var spd, cov []float64
 					var filtered uint64
 					for _, w := range ws {

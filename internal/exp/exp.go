@@ -10,13 +10,16 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"streamline/internal/core"
+	"streamline/internal/exp/runner"
 	"streamline/internal/meta"
 	"streamline/internal/prefetch"
 	"streamline/internal/prefetch/berti"
@@ -220,20 +223,53 @@ func streamlineArm(name, l1, l2 string, mod func(*core.Options)) Arm {
 // ---- runner ------------------------------------------------------------
 
 // Runner executes arms with memoization so shared baselines are simulated
-// once per harness invocation.
+// once per harness invocation. Run and RunMix are safe for concurrent use:
+// each simulation is single-flighted by its memo key, so a result is
+// computed exactly once no matter how many goroutines ask for it.
 type Runner struct {
 	Scale    Scale
 	Progress io.Writer
-	memo     map[string]sim.Result
+	// Jobs bounds the worker pool used by Precompute and ParallelMap.
+	// Zero or negative means GOMAXPROCS; 1 reproduces the serial harness.
+	Jobs int
+	// JobProgress, when non-nil, receives per-job completion lines (done
+	// count, elapsed, ETA) from the worker pool. Point it at stderr: its
+	// line order follows completion order and is not deterministic.
+	JobProgress io.Writer
+
+	logMu   sync.Mutex
+	mu      sync.Mutex
+	memo    map[string]*memoEntry
+	sysMemo map[string]*sysMemoEntry
+}
+
+// memoEntry single-flights one simulation result.
+type memoEntry struct {
+	once sync.Once
+	res  sim.Result
+}
+
+// sysMemoEntry single-flights a simulation that also retains its system for
+// prefetcher-internal inspection. The system is read-only after the run.
+type sysMemoEntry struct {
+	once sync.Once
+	res  sim.Result
+	sys  *sim.System
 }
 
 // NewRunner returns a runner at the given scale.
 func NewRunner(sc Scale) *Runner {
-	return &Runner{Scale: sc, memo: make(map[string]sim.Result)}
+	return &Runner{
+		Scale:   sc,
+		memo:    make(map[string]*memoEntry),
+		sysMemo: make(map[string]*sysMemoEntry),
+	}
 }
 
 func (r *Runner) logf(format string, args ...any) {
 	if r.Progress != nil {
+		r.logMu.Lock()
+		defer r.logMu.Unlock()
 		fmt.Fprintf(r.Progress, format, args...)
 	}
 }
@@ -243,13 +279,32 @@ func (r *Runner) Run(arm Arm, workload string) sim.Result {
 	return r.RunMix(arm, []string{workload}, 1, 0)
 }
 
+func simKey(arm Arm, mix []string, cores int, bwFactor float64) string {
+	return fmt.Sprintf("%s|%s|%d|%.3f", arm.Name, strings.Join(mix, ","), cores, bwFactor)
+}
+
 // RunMix executes one arm on a multi-programmed mix. bwFactor scales DRAM
 // bandwidth when nonzero (Figure 10c).
 func (r *Runner) RunMix(arm Arm, mix []string, cores int, bwFactor float64) sim.Result {
-	key := fmt.Sprintf("%s|%s|%d|%.3f", arm.Name, strings.Join(mix, ","), cores, bwFactor)
-	if res, ok := r.memo[key]; ok {
-		return res
+	key := simKey(arm, mix, cores, bwFactor)
+	r.mu.Lock()
+	e, ok := r.memo[key]
+	if !ok {
+		e = &memoEntry{}
+		r.memo[key] = e
 	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		e.res = r.computeMix(arm, mix, cores, bwFactor)
+	})
+	return e.res
+}
+
+// computeMix builds a fresh system and runs the simulation. Everything it
+// touches is job-private: the config is a value copy of the scale, the
+// system and its traces are constructed here, and the workload registry is
+// only read — which is what makes concurrent RunMix calls race-free.
+func (r *Runner) computeMix(arm Arm, mix []string, cores int, bwFactor float64) sim.Result {
 	cfg := r.Scale.baseConfig(cores)
 	if bwFactor > 0 {
 		cfg.DRAM = cfg.DRAM.ScaleBandwidth(bwFactor)
@@ -265,8 +320,164 @@ func (r *Runner) RunMix(arm Arm, mix []string, cores int, bwFactor float64) sim.
 			r.Scale.Seed+int64(c)))
 	}
 	r.logf("  [%s] %s x%d\n", arm.Name, strings.Join(mix, ","), cores)
-	res := sys.Run()
-	r.memo[key] = res
+	return sys.Run()
+}
+
+// runSystem single-flights a system-retaining simulation under the given
+// memo key.
+func (r *Runner) runSystem(key string, compute func() (sim.Result, *sim.System)) (sim.Result, *sim.System) {
+	r.mu.Lock()
+	e, ok := r.sysMemo[key]
+	if !ok {
+		e = &sysMemoEntry{}
+		r.sysMemo[key] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		e.res, e.sys = compute()
+	})
+	return e.res, e.sys
+}
+
+// ---- parallel precomputation ---------------------------------------------
+
+// Sim identifies one simulation job: an arm applied to a workload mix at a
+// core count and bandwidth factor. It is the unit of parallelism the
+// experiment runners fan out over.
+type Sim struct {
+	Arm   Arm
+	Mix   []string
+	Cores int
+	BW    float64
+}
+
+// Singles builds one single-core Sim per (arm, workload) pair.
+func Singles(arms []Arm, ws []workloads.Workload) []Sim {
+	var out []Sim
+	for _, a := range arms {
+		for _, w := range ws {
+			out = append(out, Sim{Arm: a, Mix: []string{w.Name}, Cores: 1})
+		}
+	}
+	return out
+}
+
+// SingleNames is Singles over workload names.
+func SingleNames(arms []Arm, names []string) []Sim {
+	var out []Sim
+	for _, a := range arms {
+		for _, n := range names {
+			out = append(out, Sim{Arm: a, Mix: []string{n}, Cores: 1})
+		}
+	}
+	return out
+}
+
+// MixSims builds one Sim per (arm, mix) pair at the given core count and
+// bandwidth factor.
+func MixSims(arms []Arm, mixes []workloads.Mix, cores int, bw float64) []Sim {
+	var out []Sim
+	for _, a := range arms {
+		for _, m := range mixes {
+			out = append(out, Sim{Arm: a, Mix: workloads.Names(m.Members), Cores: cores, BW: bw})
+		}
+	}
+	return out
+}
+
+// Precompute executes the given simulations on the runner's worker pool and
+// memoizes their results. Duplicate and already-memoized sims are skipped.
+// After Precompute returns, Run/RunMix calls for these sims are memo hits,
+// so the experiment's serial aggregation loop produces byte-identical output
+// regardless of worker count and scheduling. A failed simulation panics,
+// matching the serial harness's behavior on bad configurations.
+func (r *Runner) Precompute(groups ...[]Sim) {
+	seen := map[string]bool{}
+	var jobs []runner.Job[struct{}]
+	for _, sims := range groups {
+		for _, s := range sims {
+			s := s
+			if s.Cores == 0 {
+				s.Cores = 1
+			}
+			key := simKey(s.Arm, s.Mix, s.Cores, s.BW)
+			if seen[key] || r.memoized(key) {
+				continue
+			}
+			seen[key] = true
+			jobs = append(jobs, runner.Job[struct{}]{
+				Key: key,
+				Run: func(context.Context) (struct{}, error) {
+					r.RunMix(s.Arm, s.Mix, s.Cores, s.BW)
+					return struct{}{}, nil
+				},
+			})
+		}
+	}
+	r.runJobs(jobs)
+}
+
+// PrecomputeSystems is Precompute for system-retaining runs (runWithSystem).
+func (r *Runner) PrecomputeSystems(arms []Arm, names []string) {
+	var jobs []runner.Job[struct{}]
+	for _, a := range arms {
+		for _, n := range names {
+			a, n := a, n
+			key := a.Name + "|" + n
+			if r.sysMemoized(key) {
+				continue
+			}
+			jobs = append(jobs, runner.Job[struct{}]{
+				Key: key,
+				Run: func(context.Context) (struct{}, error) {
+					r.runWithSystem(a, n)
+					return struct{}{}, nil
+				},
+			})
+		}
+	}
+	r.runJobs(jobs)
+}
+
+func (r *Runner) memoized(key string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.memo[key] != nil
+}
+
+func (r *Runner) sysMemoized(key string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sysMemo[key] != nil
+}
+
+func (r *Runner) runJobs(jobs []runner.Job[struct{}]) {
+	if len(jobs) == 0 {
+		return
+	}
+	opts := runner.Options{Workers: r.Jobs, Progress: r.JobProgress}
+	if _, err := runner.Run(context.Background(), opts, jobs); err != nil {
+		panic(err)
+	}
+}
+
+// ParallelMap runs fn over items on the runner's worker pool and returns the
+// results in item order, so aggregation stays deterministic. key labels each
+// job in progress output. fn must not touch shared mutable state.
+func ParallelMap[T, R any](r *Runner, items []T, key func(T) string, fn func(T) R) []R {
+	jobs := make([]runner.Job[R], len(items))
+	for i, it := range items {
+		it := it
+		jobs[i] = runner.Job[R]{
+			Key: key(it),
+			Run: func(context.Context) (R, error) { return fn(it), nil },
+		}
+	}
+	opts := runner.Options{Workers: r.Jobs, Progress: r.JobProgress}
+	res, err := runner.Run(context.Background(), opts, jobs)
+	if err != nil {
+		panic(err)
+	}
 	return res
 }
 
@@ -336,13 +547,14 @@ func Mean(xs []float64) float64 {
 
 // ---- tables ---------------------------------------------------------------
 
-// Table is a formatted experiment result.
+// Table is a formatted experiment result. The JSON tags serve the harness's
+// -json results emitter.
 type Table struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
 // AddRow appends a row of pre-formatted cells.

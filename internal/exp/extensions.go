@@ -1,11 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"streamline/internal/core"
 	"streamline/internal/dram"
+	"streamline/internal/exp/runner"
 	"streamline/internal/mem"
 	"streamline/internal/meta"
 	"streamline/internal/prefetch"
@@ -86,11 +88,16 @@ func init() {
 				w      workloads.Workload
 				h, cov float64
 			}
+			ws := r.Scale.workloadList()
+			r.Precompute(Singles([]Arm{base, ideal}, ws))
+			headrooms := ParallelMap(r, ws,
+				func(w workloads.Workload) string { return "headroom|" + w.Name },
+				func(w workloads.Workload) float64 { return idealHeadroom(w, r.Scale, 300_000) })
 			var rows []row
-			for _, w := range r.Scale.workloadList() {
+			for i, w := range ws {
 				b := r.Run(base, w.Name)
 				h := Speedup(b, r.Run(ideal, w.Name)) - 1
-				rows = append(rows, row{w, h, idealHeadroom(w, r.Scale, 300_000)})
+				rows = append(rows, row{w, h, headrooms[i]})
 			}
 			sort.Slice(rows, func(i, j int) bool { return rows[i].h > rows[j].h })
 			agree := 0
@@ -121,6 +128,8 @@ func init() {
 				func(o *core.Options) { o.Bypass = true })
 			// Scan-heavy mcf-likes plus one scan-free control.
 			names := []string{"mcf06", "mcf17", "sphinx06"}
+			r.Precompute(SingleNames([]Arm{base, tri, plain}, names))
+			r.PrecomputeSystems([]Arm{byp}, names)
 			for _, name := range names {
 				b := r.Run(base, name)
 				rt := Speedup(b, r.Run(tri, name))
@@ -146,9 +155,15 @@ func init() {
 				Title: "temporal structure of the synthetic suite (see internal/workloads)",
 				Columns: []string{"workload", "suite", "lines", "pcs", "multiplicity",
 					"pair-stability", "sequential", "dependent", "stores"}}
-			for _, w := range r.Scale.workloadList() {
-				a := workloads.Analyze(w, workloads.Scale{Footprint: r.Scale.Footprint},
-					r.Scale.Seed, 500_000)
+			ws := r.Scale.workloadList()
+			analyses := ParallelMap(r, ws,
+				func(w workloads.Workload) string { return "analyze|" + w.Name },
+				func(w workloads.Workload) workloads.Analysis {
+					return workloads.Analyze(w, workloads.Scale{Footprint: r.Scale.Footprint},
+						r.Scale.Seed, 500_000)
+				})
+			for i, w := range ws {
+				a := analyses[i]
 				t.AddRow(w.Name, string(w.Suite),
 					fmt.Sprint(a.FootprintLines), fmt.Sprint(a.PCs),
 					F(a.LineMultiplicity), Pct(a.PairStability),
@@ -171,7 +186,10 @@ func init() {
 			base := baseArm("stride", "")
 			tri := triangelArm("triangel", "stride", "", nil)
 			str := streamlineArm("streamline", "stride", "", nil)
-			for _, w := range r.Scale.irregular() {
+			ws := r.Scale.irregular()
+			r.Precompute(Singles([]Arm{base, tri, str}, ws))
+			r.precomputeOffchip(workloads.Names(ws))
+			for _, w := range ws {
 				b := r.Run(base, w.Name)
 				rt := Speedup(b, r.Run(tri, w.Name))
 				rs := Speedup(b, r.Run(str, w.Name))
@@ -199,18 +217,28 @@ func init() {
 			// LUT sizes relative to the workloads' region footprints
 			// (~15-60 of the 128KB regions at small scale): a 4-entry LUT
 			// recycles constantly, 16 occasionally, 2^20 never.
-			for _, lutSize := range []int{4, 16, 1 << 20} {
+			lutSizes := []int{4, 16, 1 << 20}
+			arms := make(map[int]Arm, len(lutSizes))
+			for _, lutSize := range lutSizes {
 				lutSize := lutSize
-				name := fmt.Sprintf("triage-lut%d", lutSize)
-				arm := Arm{Name: name, Apply: func(cfg *sim.Config, sc Scale) {
-					cfg.L1DPrefetcher = l1Factory("stride")
-					cfg.Temporal = func(b meta.Bridge) prefetch.Prefetcher {
-						c := triage.DefaultConfig()
-						c.MetaBytes = sc.MetaBytes
-						c.LUTSize = lutSize
-						return triage.New(c, b)
-					}
-				}}
+				arms[lutSize] = Arm{Name: fmt.Sprintf("triage-lut%d", lutSize),
+					Apply: func(cfg *sim.Config, sc Scale) {
+						cfg.L1DPrefetcher = l1Factory("stride")
+						cfg.Temporal = func(b meta.Bridge) prefetch.Prefetcher {
+							c := triage.DefaultConfig()
+							c.MetaBytes = sc.MetaBytes
+							c.LUTSize = lutSize
+							return triage.New(c, b)
+						}
+					}}
+			}
+			all := []Arm{base}
+			for _, lutSize := range lutSizes {
+				all = append(all, arms[lutSize])
+			}
+			r.Precompute(Singles(all, r.Scale.irregular()))
+			for _, lutSize := range lutSizes {
+				arm := arms[lutSize]
 				var spd, acc []float64
 				for _, w := range r.Scale.irregular() {
 					b := r.Run(base, w.Name)
@@ -236,20 +264,42 @@ func init() {
 		}})
 }
 
-// runWithSystemOffchip runs the STMS arm (no memoization; exposes the
-// system for its off-chip statistics).
+// runWithSystemOffchip runs the STMS arm, memoized like runWithSystem, and
+// exposes the system for its off-chip statistics.
 func (r *Runner) runWithSystemOffchip(workload string) (sim.Result, *sim.System) {
-	cfg := r.Scale.baseConfig(1)
-	cfg.L1DPrefetcher = l1Factory("stride")
-	cfg.TemporalDRAM = func(d *dram.DRAM) prefetch.Prefetcher {
-		return stms.New(stms.DefaultConfig(), d)
+	return r.runSystem("stms|"+workload, func() (sim.Result, *sim.System) {
+		cfg := r.Scale.baseConfig(1)
+		cfg.L1DPrefetcher = l1Factory("stride")
+		cfg.TemporalDRAM = func(d *dram.DRAM) prefetch.Prefetcher {
+			return stms.New(stms.DefaultConfig(), d)
+		}
+		sys := sim.New(cfg)
+		w, err := workloads.Get(workload)
+		if err != nil {
+			panic(err)
+		}
+		sys.SetTrace(0, w.NewTrace(workloads.Scale{Footprint: r.Scale.Footprint}, r.Scale.Seed))
+		r.logf("  [stms] %s\n", workload)
+		return sys.Run(), sys
+	})
+}
+
+// precomputeOffchip runs the STMS simulations for the given workloads on the
+// worker pool.
+func (r *Runner) precomputeOffchip(names []string) {
+	var jobs []runner.Job[struct{}]
+	for _, n := range names {
+		n := n
+		if r.sysMemoized("stms|" + n) {
+			continue
+		}
+		jobs = append(jobs, runner.Job[struct{}]{
+			Key: "stms|" + n,
+			Run: func(context.Context) (struct{}, error) {
+				r.runWithSystemOffchip(n)
+				return struct{}{}, nil
+			},
+		})
 	}
-	sys := sim.New(cfg)
-	w, err := workloads.Get(workload)
-	if err != nil {
-		panic(err)
-	}
-	sys.SetTrace(0, w.NewTrace(workloads.Scale{Footprint: r.Scale.Footprint}, r.Scale.Seed))
-	r.logf("  [stms] %s\n", workload)
-	return sys.Run(), sys
+	r.runJobs(jobs)
 }

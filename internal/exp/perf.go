@@ -63,8 +63,10 @@ func init() {
 	register(Experiment{ID: "fig9", Title: "Single-core speedup: Streamline vs Triangel",
 		Run: func(r *Runner) []Table {
 			base, tri, str := standardArms()
+			ws := r.Scale.workloadList()
+			r.Precompute(Singles([]Arm{base, tri, str}, ws))
 			return []Table{suiteSpeedups(r, "fig9", "single-core speedups (L1 stride baseline)",
-				r.Scale.workloadList(), base, tri, str)}
+				ws, base, tri, str)}
 		}})
 
 	register(Experiment{ID: "fig10a", Title: "Multi-core speedup across core counts",
@@ -72,12 +74,20 @@ func init() {
 			base, tri, str := standardArms()
 			t := Table{ID: "fig10a", Title: "multi-core throughput speedup",
 				Columns: []string{"cores", "triangel", "streamline", "delta(pp)"}}
-			for _, cores := range []int{2, 4, 8} {
+			mixesFor := func(cores int) []workloads.Mix {
 				mixCount := r.Scale.MixCount
 				if cores == 8 {
 					mixCount = max(2, mixCount/2)
 				}
-				mixes := workloads.Mixes(mixCount, cores, r.Scale.Seed)
+				return workloads.Mixes(mixCount, cores, r.Scale.Seed)
+			}
+			var sims [][]Sim
+			for _, cores := range []int{2, 4, 8} {
+				sims = append(sims, MixSims([]Arm{base, tri, str}, mixesFor(cores), cores, 0))
+			}
+			r.Precompute(sims...)
+			for _, cores := range []int{2, 4, 8} {
+				mixes := mixesFor(cores)
 				var ts, ss []float64
 				for _, m := range mixes {
 					names := workloads.Names(m.Members)
@@ -96,6 +106,7 @@ func init() {
 		Run: func(r *Runner) []Table {
 			base, tri, str := standardArms()
 			mixes := workloads.Mixes(r.Scale.MixCount, 4, r.Scale.Seed)
+			r.Precompute(MixSims([]Arm{base, tri, str}, mixes, 4, 0))
 			t := Table{ID: "fig10b", Title: "4-core mixes: Streamline vs Triangel",
 				Columns: []string{"mix", "triangel", "streamline", "winner"}}
 			wins := 0
@@ -120,9 +131,15 @@ func init() {
 		Run: func(r *Runner) []Table {
 			base, tri, str := standardArms()
 			mixes := workloads.Mixes(max(2, r.Scale.MixCount/2), 4, r.Scale.Seed)
+			bws := []float64{0.25, 0.5, 1.0, 2.0}
+			var sims [][]Sim
+			for _, bw := range bws {
+				sims = append(sims, MixSims([]Arm{base, tri, str}, mixes, 4, bw))
+			}
+			r.Precompute(sims...)
 			t := Table{ID: "fig10c", Title: "speedup vs DRAM bandwidth (4-core)",
 				Columns: []string{"bandwidth", "triangel", "streamline", "delta(pp)"}}
-			for _, bw := range []float64{0.25, 0.5, 1.0, 2.0} {
+			for _, bw := range bws {
 				var ts, ss []float64
 				for _, m := range mixes {
 					names := workloads.Names(m.Members)
@@ -142,6 +159,7 @@ func init() {
 	register(Experiment{ID: "fig10de", Title: "Prefetch coverage and accuracy",
 		Run: func(r *Runner) []Table {
 			base, tri, str := standardArms()
+			r.Precompute(Singles([]Arm{base, tri, str}, r.Scale.workloadList()))
 			t := Table{ID: "fig10de", Title: "L2 coverage / accuracy per workload",
 				Columns: []string{"workload", "tri-cov", "str-cov", "tri-acc", "str-acc"}}
 			var tc, sc, ta, sa []float64
@@ -171,7 +189,10 @@ func init() {
 				Columns: []string{"degree", "triangel", "streamline"}}
 			ws := r.Scale.irregular()
 			base := baseArm("stride", "")
-			for _, deg := range []int{1, 2, 4, 8} {
+			degs := []int{1, 2, 4, 8}
+			degArms := map[int][2]Arm{}
+			all := []Arm{base}
+			for _, deg := range degs {
 				deg := deg
 				tri := triangelArm(fmt.Sprintf("triangel-d%d", deg), "stride", "",
 					func(c *triangel.Config) { c.MaxDegree = deg })
@@ -180,6 +201,12 @@ func init() {
 						o.MaxDegree = deg
 						o.DisableDegreeControl = true
 					})
+				degArms[deg] = [2]Arm{tri, str}
+				all = append(all, tri, str)
+			}
+			r.Precompute(Singles(all, ws))
+			for _, deg := range degs {
+				tri, str := degArms[deg][0], degArms[deg][1]
 				var ts, ss []float64
 				for _, w := range ws {
 					b := r.Run(base, w.Name)
@@ -198,6 +225,13 @@ func init() {
 			base := baseArm("berti", "")
 			tri := triangelArm("triangel+berti", "berti", "", nil)
 			str := streamlineArm("streamline+berti", "berti", "", nil)
+			arms := []Arm{base, tri, str}
+			sims := [][]Sim{Singles(arms, r.Scale.workloadList())}
+			for _, cores := range []int{2, 4} {
+				mixes := workloads.Mixes(max(2, r.Scale.MixCount/2), cores, r.Scale.Seed)
+				sims = append(sims, MixSims(arms, mixes, cores, 0))
+			}
+			r.Precompute(sims...)
 			single := suiteSpeedups(r, "fig11a", "single-core speedups (Berti L1D baseline)",
 				r.Scale.workloadList(), base, tri, str)
 			single.Notes = append(single.Notes,
@@ -230,10 +264,19 @@ func init() {
 				Columns: []string{"l2pf", "triangel", "streamline"}}
 			ws := r.Scale.irregular()
 			plain := baseArm("stride", "")
-			for _, l2 := range []string{"ipcp", "bingo", "spp"} {
+			l2s := []string{"ipcp", "bingo", "spp"}
+			l2Arms := map[string][3]Arm{}
+			all := []Arm{plain}
+			for _, l2 := range l2s {
 				base := baseArm("stride", l2)
 				tri := triangelArm("triangel+"+l2, "stride", l2, nil)
 				str := streamlineArm("streamline+"+l2, "stride", l2, nil)
+				l2Arms[l2] = [3]Arm{base, tri, str}
+				all = append(all, base, tri, str)
+			}
+			r.Precompute(Singles(all, ws))
+			for _, l2 := range l2s {
+				base, tri, str := l2Arms[l2][0], l2Arms[l2][1], l2Arms[l2][2]
 				var bs, ts, ss, tcov, scov []float64
 				for _, w := range ws {
 					p := r.Run(plain, w.Name)

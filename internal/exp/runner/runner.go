@@ -1,0 +1,163 @@
+// Package runner is the experiment harness's concurrent job engine: a
+// bounded worker pool that executes independent jobs and hands their results
+// back in job order, so callers aggregate deterministically no matter how
+// the scheduler interleaved the work.
+//
+// Every (configuration, workload, mix) simulation in internal/exp is
+// independent of every other, which makes an experiment a fan-out of Jobs
+// followed by a serial render over the ordered results. The pool guarantees:
+//
+//   - results[i] always corresponds to jobs[i], regardless of completion
+//     order, so output built from the slice is byte-identical to a serial
+//     run;
+//   - a failing (or panicking) job cancels the jobs that have not started,
+//     lets running ones finish, and surfaces the lowest-index error — the
+//     pool never wedges;
+//   - cancelling the caller's context stops feeding new jobs promptly.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Job is one independent unit of work producing a T.
+type Job[T any] struct {
+	// Key identifies the job in progress lines and error messages.
+	Key string
+	// Run computes the job's result. Long-running jobs should observe ctx,
+	// but the pool does not require it: cancellation is also enforced
+	// between jobs.
+	Run func(ctx context.Context) (T, error)
+}
+
+// Options configures one pool invocation.
+type Options struct {
+	// Workers bounds the number of concurrently running jobs. Zero or
+	// negative means GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, receives one line per completed job with the
+	// done count, elapsed wall clock, and an ETA for the remainder.
+	// Progress lines are serialized; their order follows completion order
+	// and is NOT deterministic — keep them off any output that must be.
+	Progress io.Writer
+	// Label prefixes progress lines (typically the experiment ID).
+	Label string
+}
+
+// Run executes jobs on a bounded worker pool and returns their results
+// indexed identically to jobs. On error the returned slice is partial:
+// entries for unfinished jobs are zero values. The error is the
+// lowest-index job failure, or ctx.Err() if the caller's context ended the
+// run with no job having failed.
+func Run[T any](ctx context.Context, opts Options, jobs []Job[T]) ([]T, error) {
+	results := make([]T, len(jobs))
+	if len(jobs) == 0 {
+		return results, ctx.Err()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// feed serves job indices in order; it closes when all are handed out
+	// or the context is cancelled (skipping the rest).
+	feed := make(chan int)
+	go func() {
+		defer close(feed)
+		for i := range jobs {
+			select {
+			case feed <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	errs := make([]error, len(jobs))
+	prog := &progress{w: opts.Progress, label: opts.Label, total: len(jobs), start: time.Now()}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				if ctx.Err() != nil {
+					continue
+				}
+				start := time.Now()
+				res, err := runJob(ctx, jobs[i])
+				if err != nil {
+					errs[i] = fmt.Errorf("job %q: %w", jobs[i].Key, err)
+					cancel()
+					continue
+				}
+				results[i] = res
+				prog.finish(jobs[i].Key, time.Since(start))
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, ctx.Err()
+}
+
+// runJob invokes one job, converting a panic into an error so a single bad
+// job cannot take down the whole pool (or the process, when the pool runs
+// under cmd/experiments).
+func runJob[T any](ctx context.Context, j Job[T]) (res T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	return j.Run(ctx)
+}
+
+// progress serializes per-job completion reporting.
+type progress struct {
+	w     io.Writer
+	label string
+	total int
+	start time.Time
+
+	mu   sync.Mutex
+	done int
+}
+
+func (p *progress) finish(key string, took time.Duration) {
+	if p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	elapsed := time.Since(p.start)
+	eta := time.Duration(0)
+	if p.done > 0 {
+		eta = elapsed / time.Duration(p.done) * time.Duration(p.total-p.done)
+	}
+	prefix := ""
+	if p.label != "" {
+		prefix = p.label + ": "
+	}
+	fmt.Fprintf(p.w, "%s%d/%d jobs, elapsed %s, eta %s (%s took %s)\n",
+		prefix, p.done, p.total,
+		elapsed.Round(time.Millisecond), eta.Round(time.Millisecond),
+		key, took.Round(time.Millisecond))
+}

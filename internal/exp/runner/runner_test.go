@@ -1,0 +1,261 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestOrderedAggregation: results must land at their job's index even when
+// jobs complete in reverse order (later jobs finish first).
+func TestOrderedAggregation(t *testing.T) {
+	const n = 16
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Key: fmt.Sprintf("job%d", i),
+			Run: func(context.Context) (int, error) {
+				// Earlier jobs sleep longer, so completion order is roughly
+				// the reverse of submission order.
+				time.Sleep(time.Duration(n-i) * time.Millisecond)
+				return i * 10, nil
+			},
+		}
+	}
+	got, err := Run(context.Background(), Options{Workers: n}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*10 {
+			t.Errorf("results[%d] = %d, want %d", i, v, i*10)
+		}
+	}
+}
+
+// TestPoolSaturation: the pool must run exactly Workers jobs concurrently
+// when enough jobs are available, and never more.
+func TestPoolSaturation(t *testing.T) {
+	const workers, n = 4, 12
+	var cur, peak atomic.Int64
+	release := make(chan struct{})
+	var once sync.Once
+	jobs := make([]Job[struct{}], n)
+	for i := range jobs {
+		jobs[i] = Job[struct{}]{
+			Key: fmt.Sprintf("job%d", i),
+			Run: func(context.Context) (struct{}, error) {
+				c := cur.Add(1)
+				for {
+					p := peak.Load()
+					if c <= p || peak.CompareAndSwap(p, c) {
+						break
+					}
+				}
+				if c == workers {
+					// All workers are busy: let everyone proceed.
+					once.Do(func() { close(release) })
+				}
+				<-release
+				cur.Add(-1)
+				return struct{}{}, nil
+			},
+		}
+	}
+	if _, err := Run(context.Background(), Options{Workers: workers}, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p != workers {
+		t.Errorf("peak concurrency = %d, want %d", p, workers)
+	}
+}
+
+// TestErrorPropagation: table-driven failure scenarios. A failing job must
+// surface its error without wedging the pool, and the lowest-index error
+// wins when several fail.
+func TestErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	cases := []struct {
+		name    string
+		failAt  map[int]error
+		panicAt map[int]bool
+		n       int
+		workers int
+		wantIn  []string // substrings the returned error must contain
+	}{
+		{name: "single failure", failAt: map[int]error{3: boom}, n: 8, workers: 2,
+			wantIn: []string{"job3", "boom"}},
+		{name: "multiple failures report lowest index",
+			failAt: map[int]error{2: boom, 5: boom}, n: 8, workers: 1,
+			wantIn: []string{"job2"}},
+		{name: "panic becomes error", panicAt: map[int]bool{1: true}, n: 4, workers: 2,
+			wantIn: []string{"job1", "panic"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			jobs := make([]Job[int], tc.n)
+			for i := range jobs {
+				i := i
+				jobs[i] = Job[int]{
+					Key: fmt.Sprintf("job%d", i),
+					Run: func(context.Context) (int, error) {
+						if tc.panicAt[i] {
+							panic("kaboom")
+						}
+						if err := tc.failAt[i]; err != nil {
+							return 0, err
+						}
+						return i, nil
+					},
+				}
+			}
+			done := make(chan struct{})
+			var err error
+			go func() {
+				_, err = Run(context.Background(), Options{Workers: tc.workers}, jobs)
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				t.Fatal("pool wedged: Run did not return")
+			}
+			if err == nil {
+				t.Fatal("Run returned nil error")
+			}
+			for _, want := range tc.wantIn {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q missing %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+// TestFailureSkipsRemaining: after a failure, jobs that have not started are
+// not run.
+func TestFailureSkipsRemaining(t *testing.T) {
+	var ran atomic.Int64
+	jobs := make([]Job[struct{}], 64)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[struct{}]{
+			Key: fmt.Sprintf("job%d", i),
+			Run: func(context.Context) (struct{}, error) {
+				if i == 0 {
+					return struct{}{}, errors.New("first job fails")
+				}
+				ran.Add(1)
+				time.Sleep(time.Millisecond)
+				return struct{}{}, nil
+			},
+		}
+	}
+	_, err := Run(context.Background(), Options{Workers: 2}, jobs)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := ran.Load(); n >= 63 {
+		t.Errorf("all %d remaining jobs ran despite early failure", n)
+	}
+}
+
+// TestContextCancellation: cancelling the caller's context stops the run
+// promptly and reports ctx.Err().
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	var ran atomic.Int64
+	jobs := make([]Job[struct{}], 32)
+	for i := range jobs {
+		jobs[i] = Job[struct{}]{
+			Key: fmt.Sprintf("job%d", i),
+			Run: func(c context.Context) (struct{}, error) {
+				ran.Add(1)
+				select {
+				case started <- struct{}{}:
+				default:
+				}
+				<-c.Done() // block until cancelled
+				return struct{}{}, nil
+			},
+		}
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	done := make(chan struct{})
+	var err error
+	go func() {
+		_, err = Run(ctx, Options{Workers: 2}, jobs)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pool did not honor cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 32 {
+		t.Errorf("all jobs ran despite cancellation (%d)", n)
+	}
+}
+
+// TestEmptyAndDefaults: zero jobs and defaulted worker counts are fine.
+func TestEmptyAndDefaults(t *testing.T) {
+	res, err := Run[int](context.Background(), Options{}, nil)
+	if err != nil || len(res) != 0 {
+		t.Errorf("empty run: res=%v err=%v", res, err)
+	}
+	// Workers <= 0 defaults to GOMAXPROCS; more workers than jobs is capped.
+	got, err := Run(context.Background(), Options{Workers: -1}, []Job[string]{
+		{Key: "only", Run: func(context.Context) (string, error) { return "ok", nil }},
+	})
+	if err != nil || got[0] != "ok" {
+		t.Errorf("default-worker run: got=%v err=%v", got, err)
+	}
+}
+
+// TestProgressReporting: progress lines carry the done count and ETA fields.
+func TestProgressReporting(t *testing.T) {
+	var mu sync.Mutex
+	var b strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	})
+	jobs := make([]Job[int], 3)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Key: fmt.Sprintf("job%d", i),
+			Run: func(context.Context) (int, error) { return i, nil }}
+	}
+	if _, err := Run(context.Background(), Options{Workers: 2, Progress: w, Label: "lbl"}, jobs); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	out := b.String()
+	mu.Unlock()
+	if got := strings.Count(out, "\n"); got != 3 {
+		t.Errorf("progress lines = %d, want 3:\n%s", got, out)
+	}
+	for _, want := range []string{"lbl: ", "3/3 jobs", "eta", "elapsed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -45,6 +45,7 @@ func init() {
 			t := Table{ID: "fig13a", Title: "speedup vs metadata budget (irregular subset)",
 				Columns: []string{"arm", "geomean-speedup", "mean-coverage"}}
 			ws := r.Scale.irregular()
+			r.Precompute(Singles(append([]Arm{base}, arms...), ws))
 			for _, arm := range arms {
 				var spd, cov []float64
 				for _, w := range ws {
@@ -66,12 +67,22 @@ func init() {
 			t := Table{ID: "fig13b", Title: "LLC metadata traffic (blocks) vs partition size",
 				Columns: []string{"size", "triangel", "streamline", "ratio"}}
 			ws := r.Scale.irregular()
-			for _, frac := range []int{8, 4, 2, 1} {
+			fracs := []int{8, 4, 2, 1}
+			fracArms := map[int][2]Arm{}
+			var all []Arm
+			for _, frac := range fracs {
 				sz := mb / frac
 				tri := triangelArm(fmt.Sprintf("triangel-%dKB", sz>>10), "stride", "",
 					func(c *triangel.Config) { c.FixedBytes = sz })
 				str := streamlineArm(fmt.Sprintf("streamline-%dKB", sz>>10), "stride", "",
 					func(o *core.Options) { o.FixedBytes = sz })
+				fracArms[frac] = [2]Arm{tri, str}
+				all = append(all, tri, str)
+			}
+			r.Precompute(Singles(all, ws))
+			for _, frac := range fracs {
+				sz := mb / frac
+				tri, str := fracArms[frac][0], fracArms[frac][1]
 				var tt, st uint64
 				for _, w := range ws {
 					tt += r.Run(tri, w.Name).Cores[0].Meta.Traffic()
@@ -99,6 +110,8 @@ func init() {
 				Columns: []string{"arm", "coverage", "accuracy", "corr-utility"}}
 			pressured := NewRunner(r.Scale)
 			pressured.Progress = r.Progress
+			pressured.Jobs = r.Jobs
+			pressured.JobProgress = r.JobProgress
 			pressured.Scale.Footprint = r.Scale.Footprint * 1.4
 			base := baseArm("stride", "")
 			ws := r.Scale.irregular()
@@ -120,6 +133,7 @@ func init() {
 				streamlineArm("streamline-tpmj", "stride", "",
 					func(o *core.Options) { o.FixedBytes = mb }),
 			}
+			pressured.Precompute(Singles(append([]Arm{base}, arms...), ws))
 			for _, arm := range arms {
 				var cov, acc, util []float64
 				for _, w := range ws {
@@ -141,10 +155,18 @@ func init() {
 			o := Table{ID: "fig13c-oracle", Title: "offline oracle replay: MIN vs TP-MIN",
 				Columns: []string{"workload", "min-trig", "min-corr", "tpmin-trig", "tpmin-corr"}}
 			capEntries := mb / 2 / mem.LineSize * meta.CorrelationsPerBlock(meta.Pairwise, 0)
-			for _, w := range ws {
-				stream := correlationStream(w, r.Scale, 200_000)
-				m := replacement.ReplayOracle(stream, capEntries, replacement.MIN)
-				tp := replacement.ReplayOracle(stream, capEntries, replacement.TPMIN)
+			type oraclePair struct{ min, tpmin replacement.OracleStats }
+			replays := ParallelMap(r, ws,
+				func(w workloads.Workload) string { return "oracle|" + w.Name },
+				func(w workloads.Workload) oraclePair {
+					stream := correlationStream(w, r.Scale, 200_000)
+					return oraclePair{
+						min:   replacement.ReplayOracle(stream, capEntries, replacement.MIN),
+						tpmin: replacement.ReplayOracle(stream, capEntries, replacement.TPMIN),
+					}
+				})
+			for i, w := range ws {
+				m, tp := replays[i].min, replays[i].tpmin
 				o.AddRow(w.Name,
 					Pct(m.TriggerHitRate()), Pct(m.CorrelationHitRate()),
 					Pct(tp.TriggerHitRate()), Pct(tp.CorrelationHitRate()))

@@ -15,18 +15,22 @@ import (
 // the metadata-buffer-size sweep.
 
 // runWithSystem runs one arm on one workload and returns both the result
-// and the system, so prefetcher-internal state can be inspected.
+// and the system, so prefetcher-internal state can be inspected. Results are
+// memoized (single-flight, like RunMix); the returned system must be treated
+// as read-only.
 func (r *Runner) runWithSystem(arm Arm, workload string) (sim.Result, *sim.System) {
-	cfg := r.Scale.baseConfig(1)
-	arm.Apply(&cfg, r.Scale)
-	sys := sim.New(cfg)
-	w, err := workloads.Get(workload)
-	if err != nil {
-		panic(err)
-	}
-	sys.SetTrace(0, w.NewTrace(workloads.Scale{Footprint: r.Scale.Footprint}, r.Scale.Seed))
-	r.logf("  [%s] %s (with system)\n", arm.Name, workload)
-	return sys.Run(), sys
+	return r.runSystem(arm.Name+"|"+workload, func() (sim.Result, *sim.System) {
+		cfg := r.Scale.baseConfig(1)
+		arm.Apply(&cfg, r.Scale)
+		sys := sim.New(cfg)
+		w, err := workloads.Get(workload)
+		if err != nil {
+			panic(err)
+		}
+		sys.SetTrace(0, w.NewTrace(workloads.Scale{Footprint: r.Scale.Footprint}, r.Scale.Seed))
+		r.logf("  [%s] %s (with system)\n", arm.Name, workload)
+		return sys.Run(), sys
+	})
 }
 
 // streamlineOf extracts the Streamline instance from a system.
@@ -42,10 +46,18 @@ func init() {
 				Columns: []string{"length", "corr/block", "missed-triggers", "coverage", "speedup"}}
 			ws := r.Scale.irregular()
 			base := baseArm("stride", "")
-			for _, k := range []int{2, 3, 4, 5, 8, 16} {
+			lengths := []int{2, 3, 4, 5, 8, 16}
+			lenArms := map[int]Arm{}
+			all := []Arm{base}
+			for _, k := range lengths {
 				k := k
-				arm := streamlineArm(fmt.Sprintf("streamline-len%d", k), "stride", "",
+				lenArms[k] = streamlineArm(fmt.Sprintf("streamline-len%d", k), "stride", "",
 					func(o *core.Options) { o.StreamLength = k; o.MaxDegree = min(k, 4) })
+				all = append(all, lenArms[k])
+			}
+			r.Precompute(Singles(all, ws))
+			for _, k := range lengths {
+				arm := lenArms[k]
 				var cov, spd, missed []float64
 				for _, w := range ws {
 					b := r.Run(base, w.Name)
@@ -77,8 +89,10 @@ func init() {
 			withSA := streamlineArm("streamline-SA-fixed", "stride", "", func(o *core.Options) {
 				o.FixedBytes = o.MetaBytes
 			})
+			ws := r.Scale.irregular()
+			r.PrecomputeSystems([]Arm{noSA, withSA}, workloads.Names(ws))
 			var rn, rs []float64
-			for _, w := range r.Scale.irregular() {
+			for _, w := range ws {
 				_, sysN := r.runWithSystem(noSA, w.Name)
 				_, sysS := r.runWithSystem(withSA, w.Name)
 				redN, _ := redundancy(streamlineOf(sysN).Store().DumpEntries())
@@ -98,10 +112,19 @@ func init() {
 				Columns: []string{"buffer", "alignment-rate", "coverage", "speedup"}}
 			ws := r.Scale.irregular()
 			base := baseArm("stride", "")
-			for _, n := range []int{1, 2, 3, 4, 6} {
+			sizes := []int{1, 2, 3, 4, 6}
+			sizeArms := map[int]Arm{}
+			var sysArms []Arm
+			for _, n := range sizes {
 				n := n
-				arm := streamlineArm(fmt.Sprintf("streamline-mb%d", n), "stride", "",
+				sizeArms[n] = streamlineArm(fmt.Sprintf("streamline-mb%d", n), "stride", "",
 					func(o *core.Options) { o.MetaBufferSize = n })
+				sysArms = append(sysArms, sizeArms[n])
+			}
+			r.Precompute(Singles([]Arm{base}, ws))
+			r.PrecomputeSystems(sysArms, workloads.Names(ws))
+			for _, n := range sizes {
+				arm := sizeArms[n]
 				var ar, cov, spd []float64
 				for _, w := range ws {
 					b := r.Run(base, w.Name)

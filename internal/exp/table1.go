@@ -98,13 +98,27 @@ func init() {
 				"RTS": "assoc ok, expensive repart",
 				"FTS": "assoc ok, cheap (ours)",
 			}
-			for _, cfg := range schemeConfigs(mb) {
-				st := meta.NewStore(cfg, &meta.NullBridge{Sets: llcSets, Ways: llcWays})
-				name := st.SchemeName()
-				small := schemeRetention(cfg, llcSets, llcWays, mb/8, r.Scale.Seed)
-				big := schemeRetention(cfg, llcSets, llcWays, mb, r.Scale.Seed)
-				traffic := schemeResizeTraffic(cfg, llcSets, llcWays, r.Scale.Seed)
-				t.AddRow(name, Pct(small), Pct(big), fmt.Sprint(traffic), verdicts[name])
+			type schemeRow struct {
+				name       string
+				small, big float64
+				traffic    uint64
+			}
+			rows := ParallelMap(r, schemeConfigs(mb),
+				func(cfg meta.StoreConfig) string {
+					return "scheme|" + meta.NewStore(cfg, &meta.NullBridge{Sets: llcSets, Ways: llcWays}).SchemeName()
+				},
+				func(cfg meta.StoreConfig) schemeRow {
+					st := meta.NewStore(cfg, &meta.NullBridge{Sets: llcSets, Ways: llcWays})
+					return schemeRow{
+						name:    st.SchemeName(),
+						small:   schemeRetention(cfg, llcSets, llcWays, mb/8, r.Scale.Seed),
+						big:     schemeRetention(cfg, llcSets, llcWays, mb, r.Scale.Seed),
+						traffic: schemeResizeTraffic(cfg, llcSets, llcWays, r.Scale.Seed),
+					}
+				})
+			for _, row := range rows {
+				t.AddRow(row.name, Pct(row.small), Pct(row.big),
+					fmt.Sprint(row.traffic), verdicts[row.name])
 			}
 			t.Notes = append(t.Notes,
 				"Table I: only FTS avoids low associativity at both sizes AND expensive repartitioning")
@@ -147,27 +161,31 @@ func init() {
 				Columns: []string{"tag-bits", "aliased-inserts", "rate", "halving-ratio"}}
 			llcSets := r.Scale.LLCSets
 			const n = 120_000
+			aliased := ParallelMap(r, []int{4, 5, 6, 7, 8, 10, 12},
+				func(bits int) string { return fmt.Sprintf("aliasing|%d-bit", bits) },
+				func(bits int) uint64 {
+					st := meta.NewStore(meta.StoreConfig{
+						Format: meta.Stream, StreamLength: 4,
+						Tagged: true, Filtered: true, SetPartitioned: true,
+						MetaWaysPerSet: 8, MaxBytes: r.Scale.MetaBytes,
+						PartialTagBits: bits,
+					}, &meta.NullBridge{Sets: llcSets, Ways: 16})
+					rng := rand.New(rand.NewSource(r.Scale.Seed))
+					for i := 0; i < n; i++ {
+						tr := mem.Line(rng.Uint64() >> 16)
+						st.Insert(0, 1, meta.Entry{Trigger: tr,
+							Targets: []mem.Line{1, 2, 3, 4}})
+					}
+					return st.Stats.AliasedInserts
+				})
 			prev := 0.0
-			for _, bits := range []int{4, 5, 6, 7, 8, 10, 12} {
-				st := meta.NewStore(meta.StoreConfig{
-					Format: meta.Stream, StreamLength: 4,
-					Tagged: true, Filtered: true, SetPartitioned: true,
-					MetaWaysPerSet: 8, MaxBytes: r.Scale.MetaBytes,
-					PartialTagBits: bits,
-				}, &meta.NullBridge{Sets: llcSets, Ways: 16})
-				rng := rand.New(rand.NewSource(r.Scale.Seed))
-				for i := 0; i < n; i++ {
-					tr := mem.Line(rng.Uint64() >> 16)
-					st.Insert(0, 1, meta.Entry{Trigger: tr,
-						Targets: []mem.Line{1, 2, 3, 4}})
-				}
-				rate := float64(st.Stats.AliasedInserts) / n
+			for i, bits := range []int{4, 5, 6, 7, 8, 10, 12} {
+				rate := float64(aliased[i]) / n
 				ratio := "-"
 				if prev > 0 && rate > 0 {
 					ratio = F(rate / prev)
 				}
-				t.AddRow(fmt.Sprint(bits), fmt.Sprint(st.Stats.AliasedInserts),
-					Pct(rate), ratio)
+				t.AddRow(fmt.Sprint(bits), fmt.Sprint(aliased[i]), Pct(rate), ratio)
 				prev = rate
 			}
 			t.Notes = append(t.Notes,
