@@ -40,6 +40,7 @@ func main() {
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation jobs (1 = serial)")
 		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
 		jsonDest = flag.String("json", "", "write all results as JSON to this file ('-' for stdout)")
+		check    = flag.Bool("check", false, "run every simulation with the invariant audit enabled; exit 1 on violations")
 	)
 	flag.Parse()
 
@@ -81,6 +82,7 @@ func main() {
 
 	runner := exp.NewRunner(sc)
 	runner.Jobs = *jobs
+	runner.Check = *check
 	if !*quiet {
 		runner.JobProgress = os.Stderr
 	}
@@ -118,6 +120,13 @@ func main() {
 	if *jsonDest != "" {
 		if err := writeJSON(*jsonDest, report); err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *check {
+		// The audit summary goes to stderr so stdout stays byte-identical
+		// with unaudited runs.
+		if runner.AuditSummary(os.Stderr) > 0 {
 			os.Exit(1)
 		}
 	}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"streamline/internal/audit"
 	"streamline/internal/core"
 	"streamline/internal/dram"
 	"streamline/internal/meta"
@@ -43,6 +44,7 @@ func main() {
 		llcSets   = flag.Int("llc-sets", 256, "LLC sets per core (256=256KB, 2048=2MB)")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		list      = flag.Bool("list", false, "list workloads and exit")
+		check     = flag.Bool("check", false, "enable the runtime invariant audit; exit 1 on violations")
 	)
 	flag.Parse()
 
@@ -133,6 +135,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	var aud *audit.Auditor
+	if *check {
+		aud = audit.New(*seed)
+		aud.Label = fmt.Sprintf("%s|%s|%s|%s|x%d", *workload, *l1, *l2, *temporal, *cores)
+		cfg.Audit = aud
+	}
+
 	sys := sim.New(cfg)
 	for c := 0; c < *cores; c++ {
 		sys.SetTrace(c, w.NewTrace(workloads.Scale{Footprint: *footprint}, *seed+int64(c)))
@@ -161,4 +170,14 @@ func main() {
 		res.LLC.DemandHitRate()*100, res.LLC.MetaReads, res.LLC.MetaWrites)
 	fmt.Printf("DRAM: %d reads, %d writes, %.1f%% row hits, %d queue cycles\n",
 		res.DRAM.Reads, res.DRAM.Writes, res.DRAM.RowHitRate()*100, res.DRAM.QueueCycles)
+
+	if aud != nil {
+		// Audit output goes to stderr so stdout stays byte-identical with
+		// unaudited runs.
+		if aud.Total() > 0 {
+			aud.WriteReport(os.Stderr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "audit: clean (%d scans)\n", aud.Scans())
+	}
 }

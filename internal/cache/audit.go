@@ -1,0 +1,94 @@
+package cache
+
+import (
+	"streamline/internal/audit"
+	"streamline/internal/mem"
+)
+
+// ForEachLine visits every valid data line (outside reserved ways), for
+// cross-level invariant checks at the simulator layer.
+func (c *Cache) ForEachLine(f func(set, way int, l mem.Line)) {
+	for s := range c.sets {
+		for w := c.reserved[s]; w < c.cfg.Ways; w++ {
+			if c.sets[s][w].valid {
+				f(s, w, c.sets[s][w].tag)
+			}
+		}
+	}
+}
+
+// AuditScan verifies the cache's structural invariants against a, reporting
+// each breach at cycle now. All checks are read-only.
+//
+// Invariants:
+//   - tag-array soundness: no duplicate valid line within a set, and no
+//     valid data line inside a metadata-reserved way region (the
+//     metadata/data exclusion the LLC partitioning relies on);
+//   - reservation legality: 0 <= reserved ways <= associativity;
+//   - fill/eviction balance: incrementally tracked occupancy equals a full
+//     scan, so every install, eviction, and reservation flush was accounted;
+//   - MSHR hygiene: every MSHRReserve was matched by an MSHRComplete (leak
+//     detection; the scan runs between accesses, when none are in flight);
+//   - counter identities: demand hits + misses = accesses, useful
+//     prefetches never exceed demand hits, writebacks never exceed
+//     evictions, prefetch hits never exceed prefetch accesses.
+func (c *Cache) AuditScan(a *audit.Auditor, now uint64) {
+	if a == nil {
+		return
+	}
+	name := c.cfg.Name
+	valid := 0
+	for s := range c.sets {
+		rsv := c.reserved[s]
+		if rsv < 0 || rsv > c.cfg.Ways {
+			a.Reportf(now, name, "reservation-bounds",
+				"set %d reserves %d ways of %d", s, rsv, c.cfg.Ways)
+			continue
+		}
+		for w := 0; w < c.cfg.Ways; w++ {
+			ln := &c.sets[s][w]
+			if !ln.valid {
+				continue
+			}
+			valid++
+			if w < rsv {
+				a.Reportf(now, name, "data-in-reserved-way",
+					"set %d way %d holds line %#x inside the %d reserved ways",
+					s, w, uint64(ln.tag), rsv)
+			}
+			for w2 := w + 1; w2 < c.cfg.Ways; w2++ {
+				if c.sets[s][w2].valid && c.sets[s][w2].tag == ln.tag {
+					a.Reportf(now, name, "duplicate-line",
+						"set %d holds line %#x in ways %d and %d",
+						s, uint64(ln.tag), w, w2)
+				}
+			}
+		}
+	}
+	if valid != c.occupied {
+		a.Reportf(now, name, "fill-evict-balance",
+			"scan finds %d valid lines, incremental accounting says %d", valid, c.occupied)
+	}
+	if c.mshrPending != 0 {
+		a.Reportf(now, name, "mshr-leak",
+			"%d MSHR reservation(s) never completed", c.mshrPending)
+	}
+	st := c.Stats
+	if st.DemandHits+st.DemandMisses != st.DemandAccesses {
+		a.Reportf(now, name, "demand-accounting",
+			"hits %d + misses %d != accesses %d",
+			st.DemandHits, st.DemandMisses, st.DemandAccesses)
+	}
+	if st.UsefulPrefetches > st.DemandHits {
+		a.Reportf(now, name, "useful-exceeds-hits",
+			"useful prefetches %d > demand hits %d", st.UsefulPrefetches, st.DemandHits)
+	}
+	if st.Writebacks > st.Evictions {
+		a.Reportf(now, name, "writebacks-exceed-evictions",
+			"writebacks %d > evictions %d", st.Writebacks, st.Evictions)
+	}
+	if st.PrefetchHits > st.PrefetchAccesses {
+		a.Reportf(now, name, "prefetch-hit-accounting",
+			"prefetch hits %d > prefetch accesses %d", st.PrefetchHits, st.PrefetchAccesses)
+	}
+}

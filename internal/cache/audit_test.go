@@ -1,0 +1,78 @@
+package cache
+
+import (
+	"testing"
+
+	"streamline/internal/audit"
+	"streamline/internal/mem"
+)
+
+// Negative tests: each audit rule must actually fire when its invariant is
+// broken, so a clean conformance run attests to real checking rather than
+// vacuous passes.
+
+func auditRules(c *Cache) map[string]int {
+	a := audit.New(0)
+	c.AuditScan(a, 0)
+	rules := map[string]int{}
+	for _, v := range a.Violations() {
+		rules[v.Rule]++
+	}
+	return rules
+}
+
+func propCache() *Cache {
+	c := New(Config{Name: "t", Sets: 4, Ways: 4, Latency: 1, MSHRs: 4, Ports: 1})
+	for i := 0; i < 8; i++ {
+		l := mem.Line(i * 5)
+		c.Lookup(uint64(i), mem.Access{Addr: mem.AddrOf(l), Kind: mem.Load})
+		c.Fill(mem.Access{Addr: mem.AddrOf(l), Kind: mem.Load}, uint64(i), false)
+	}
+	return c
+}
+
+func TestAuditDetectsOccupancyImbalance(t *testing.T) {
+	c := propCache()
+	if r := auditRules(c); len(r) != 0 {
+		t.Fatalf("clean cache reports violations: %v", r)
+	}
+	c.occupied++
+	if r := auditRules(c); r["fill-evict-balance"] == 0 {
+		t.Fatalf("corrupted occupancy not detected: %v", r)
+	}
+}
+
+func TestAuditDetectsMSHRLeak(t *testing.T) {
+	c := propCache()
+	c.MSHRReserve(100) // never completed
+	if r := auditRules(c); r["mshr-leak"] == 0 {
+		t.Fatalf("leaked MSHR reservation not detected: %v", r)
+	}
+}
+
+func TestAuditDetectsDuplicateLine(t *testing.T) {
+	c := propCache()
+	// Plant the same tag twice in one set, bypassing Fill's dedup.
+	c.sets[0][0] = line{tag: mem.Line(64), valid: true}
+	c.sets[0][1] = line{tag: mem.Line(64), valid: true}
+	c.occupied = c.OccupiedLines() // keep the balance check quiet
+	if r := auditRules(c); r["duplicate-line"] == 0 {
+		t.Fatalf("duplicate line not detected: %v", r)
+	}
+}
+
+func TestAuditDetectsDataInReservedWay(t *testing.T) {
+	c := propCache()
+	c.reserved[0] = 2 // reserve over resident lines without flushing
+	if r := auditRules(c); r["data-in-reserved-way"] == 0 {
+		t.Fatalf("stranded data line in reserved region not detected: %v", r)
+	}
+}
+
+func TestAuditDetectsCounterDrift(t *testing.T) {
+	c := propCache()
+	c.Stats.DemandHits++
+	if r := auditRules(c); r["demand-accounting"] == 0 {
+		t.Fatalf("hit/miss/access drift not detected: %v", r)
+	}
+}

@@ -95,6 +95,14 @@ type Cache struct {
 	mshr  []uint64 // ring of outstanding miss completion times
 	mshrI int
 
+	// Shadow accounting for the audit subsystem: occupied tracks valid
+	// data lines incrementally (AuditScan cross-checks it against a full
+	// scan), mshrPending tracks unmatched MSHRReserve calls (leak
+	// detection). Both are plain increments, kept on even when auditing is
+	// off so enabling it mid-run needs no reconstruction.
+	occupied    int
+	mshrPending int
+
 	Stats Stats
 }
 
@@ -181,6 +189,7 @@ func (c *Cache) MSHRReserve(start uint64) (slot int, delay uint64) {
 	c.mshr[slot] = start + delay // placeholder until MSHRComplete
 	c.mshrI = (c.mshrI + 1) % len(c.mshr)
 	c.Stats.MSHRStallCycles += delay
+	c.mshrPending++
 	return slot, delay
 }
 
@@ -189,6 +198,7 @@ func (c *Cache) MSHRComplete(slot int, ready uint64) {
 	if ready > c.mshr[slot] {
 		c.mshr[slot] = ready
 	}
+	c.mshrPending--
 }
 
 // LookupResult reports the outcome of a cache lookup.
@@ -301,6 +311,9 @@ func (c *Cache) Fill(a mem.Access, readyAt uint64, prefetch bool) Victim {
 	if prefetch {
 		c.Stats.PrefetchFills++
 	}
+	if !c.sets[set][way].valid {
+		c.occupied++
+	}
 	c.sets[set][way] = line{
 		tag:        a.Line(),
 		pc:         a.PC,
@@ -354,6 +367,7 @@ func (c *Cache) Reserve(s, ways int) (flushed, dirty int) {
 			*ln = line{}
 		}
 	}
+	c.occupied -= flushed
 	return flushed, dirty
 }
 

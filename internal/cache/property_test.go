@@ -1,0 +1,145 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"streamline/internal/audit"
+	"streamline/internal/mem"
+)
+
+// Property-based tests over the cache's replacement/eviction machinery:
+// invariants that must hold for every geometry under arbitrary interleavings
+// of lookups, fills, reservations, and MSHR traffic (mirroring the metadata
+// store's property suite).
+
+// anyGeometry derives a random but valid cache configuration.
+func anyGeometry(setSel, waySel uint8) Config {
+	return Config{
+		Name:    "prop",
+		Sets:    4 << (setSel % 5), // 4..64, power of two
+		Ways:    1 + int(waySel%8), // 1..8
+		Latency: 10,
+		MSHRs:   4,
+		Ports:   1,
+	}
+}
+
+// driveOps replays an encoded operation sequence against c. Each op word
+// selects an action from its low bits and a line from its high bits; MSHR
+// reservations are always paired with completions, as every access path in
+// the simulator does.
+func driveOps(c *Cache, ops []uint16) {
+	now := uint64(0)
+	for _, op := range ops {
+		now += uint64(op%7) + 1
+		l := mem.Line(op >> 4)
+		acc := mem.Access{Addr: mem.AddrOf(l), Kind: mem.Load}
+		switch op % 8 {
+		case 0, 1:
+			c.Lookup(now, acc)
+		case 2:
+			if !c.Lookup(now, acc).Hit {
+				c.Fill(acc, now+50, false)
+			}
+		case 3:
+			c.Fill(acc, now+50, true)
+		case 4:
+			acc.Kind = mem.Store
+			if !c.Lookup(now, acc).Hit {
+				c.Fill(acc, now+50, false)
+			}
+		case 5:
+			c.MarkDirty(l)
+		case 6:
+			c.Reserve(c.SetOf(l), int(op>>4)%(c.cfg.Ways+1))
+		case 7:
+			slot, delay := c.MSHRReserve(now)
+			c.MSHRComplete(slot, now+delay+20)
+		}
+	}
+}
+
+func TestPropertyOccupancyAndAccounting(t *testing.T) {
+	f := func(setSel, waySel uint8, ops []uint16) bool {
+		c := New(anyGeometry(setSel, waySel))
+		driveOps(c, ops)
+
+		// Occupancy never exceeds the capacity left to data.
+		capacity := 0
+		for s := 0; s < c.Sets(); s++ {
+			capacity += c.DataWays(s)
+		}
+		if c.OccupiedLines() > capacity {
+			t.Logf("occupied %d > data capacity %d", c.OccupiedLines(), capacity)
+			return false
+		}
+
+		// Demand accounting: every access is exactly one hit or one miss.
+		if c.Stats.DemandHits+c.Stats.DemandMisses != c.Stats.DemandAccesses {
+			t.Logf("hits %d + misses %d != accesses %d",
+				c.Stats.DemandHits, c.Stats.DemandMisses, c.Stats.DemandAccesses)
+			return false
+		}
+
+		// The audit's full sweep agrees: no violation under any sequence.
+		a := audit.New(0)
+		c.AuditScan(a, 0)
+		if a.Total() != 0 {
+			for _, v := range a.Violations() {
+				t.Log(v)
+			}
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyFillThenProbe(t *testing.T) {
+	f := func(setSel, waySel uint8, raw uint16, ops []uint16) bool {
+		c := New(anyGeometry(setSel, waySel))
+		driveOps(c, ops)
+		l := mem.Line(raw)
+		set := c.SetOf(l)
+		c.Fill(mem.Access{Addr: mem.AddrOf(l), Kind: mem.Load}, 100, false)
+		if c.DataWays(set) == 0 {
+			// Fully reserved set: the fill is dropped by design.
+			return !c.Probe(l)
+		}
+		return c.Probe(l)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyReserveFlushesRegion(t *testing.T) {
+	f := func(setSel, waySel uint8, ops []uint16, set uint8, ways uint8) bool {
+		c := New(anyGeometry(setSel, waySel))
+		driveOps(c, ops)
+		s := int(set) % c.Sets()
+		w := int(ways) % (c.Ways() + 1)
+		before := c.OccupiedLines()
+		flushed, dirty := c.Reserve(s, w)
+		if dirty > flushed {
+			return false
+		}
+		if c.ReservedWays(s) != w {
+			return false
+		}
+		// Reserved region holds no valid data lines.
+		for way := 0; way < w; way++ {
+			if c.sets[s][way].valid {
+				return false
+			}
+		}
+		// Flushes are the only occupancy change a Reserve makes.
+		return c.OccupiedLines() == before-flushed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,59 @@
+package cpu
+
+import "streamline/internal/audit"
+
+// AuditScan verifies the core's pipeline invariants against a, reporting
+// each breach at cycle now. All checks are read-only; the simulator calls
+// it between trace records, when no memory operation is mid-dispatch.
+//
+// Invariants:
+//   - ROB occupancy bounds: the in-flight count stays within [0, window];
+//   - program order: ROB entries retire in dispatch order, so their
+//     cumulative instruction indices are non-decreasing from head to tail
+//     (an out-of-order entry means a retired-before-issued reordering);
+//   - completion sanity: the most recent memory operation did not complete
+//     before the cycle BeginMem issued it at, and the dependence clock
+//     (lastMemDone) never runs ahead of the overall completion horizon;
+//   - clock monotonicity: the front-end clock never moves backward between
+//     scans.
+func (c *Core) AuditScan(a *audit.Auditor, now uint64) {
+	if a == nil {
+		return
+	}
+	if c.count < 0 || c.count > len(c.rob) {
+		a.Reportf(now, "cpu", "rob-occupancy",
+			"in-flight count %d outside [0, %d]", c.count, len(c.rob))
+		return
+	}
+	prevIdx := uint64(0)
+	for i := 0; i < c.count; i++ {
+		e := c.rob[(c.head+i)%len(c.rob)]
+		if i > 0 && e.instrIdx < prevIdx {
+			a.Reportf(now, "cpu", "rob-order",
+				"entry %d dispatched at instruction %d after entry at %d",
+				i, e.instrIdx, prevIdx)
+		}
+		prevIdx = e.instrIdx
+		if e.instrIdx > c.instrs {
+			a.Reportf(now, "cpu", "rob-future-entry",
+				"entry %d dispatched at instruction %d but only %d executed",
+				i, e.instrIdx, c.instrs)
+		}
+	}
+	if c.lastMemDone > c.maxDone {
+		a.Reportf(now, "cpu", "dependence-clock",
+			"lastMemDone %d > completion horizon %d", c.lastMemDone, c.maxDone)
+	}
+}
+
+// auditEndMem is the inline EndMem hook: a memory operation completing
+// before the cycle it issued at is a retired-before-issued violation.
+func (c *Core) auditEndMem(a *audit.Auditor, done uint64) {
+	if a == nil {
+		return
+	}
+	if done < c.lastIssue {
+		a.Reportf(done, "cpu", "retired-before-issued",
+			"memory op completed at %d but issued at %d", done, c.lastIssue)
+	}
+}

@@ -1,0 +1,78 @@
+package cpu
+
+import (
+	"testing"
+
+	"streamline/internal/audit"
+)
+
+func cpuRules(c *Core) map[string]int {
+	a := audit.New(0)
+	c.AuditScan(a, c.Now())
+	rules := map[string]int{}
+	for _, v := range a.Violations() {
+		rules[v.Rule]++
+	}
+	return rules
+}
+
+func exercisedCore() *Core {
+	c := New(DefaultConfig)
+	for i := 0; i < 500; i++ {
+		c.Advance(3)
+		t := c.BeginMem(i%3 == 0)
+		c.EndMem(t+uint64(10+i%90), true)
+	}
+	return c
+}
+
+func TestAuditCleanAfterExecution(t *testing.T) {
+	if r := cpuRules(exercisedCore()); len(r) != 0 {
+		t.Fatalf("clean core reports violations: %v", r)
+	}
+}
+
+func TestAuditDetectsDependenceClockDrift(t *testing.T) {
+	c := exercisedCore()
+	c.lastMemDone = c.maxDone + 1000
+	if r := cpuRules(c); r["dependence-clock"] == 0 {
+		t.Fatalf("dependence clock ahead of completion horizon not detected: %v", r)
+	}
+}
+
+func TestAuditDetectsROBOrderViolation(t *testing.T) {
+	c := exercisedCore()
+	if c.count < 2 {
+		t.Fatal("test core must retain in-flight ROB entries")
+	}
+	// Swap the head entry's instruction index far forward.
+	c.rob[c.head].instrIdx = c.rob[(c.head+1)%len(c.rob)].instrIdx + 1000
+	r := cpuRules(c)
+	if r["rob-order"] == 0 && r["rob-future-entry"] == 0 {
+		t.Fatalf("out-of-order ROB entry not detected: %v", r)
+	}
+}
+
+func TestAuditEndMemDetectsRetireBeforeIssue(t *testing.T) {
+	c := New(DefaultConfig)
+	a := audit.New(0)
+	c.SetAuditor(a)
+	c.Advance(100)
+	issue := c.BeginMem(false)
+	c.EndMem(issue+10, true)
+	if a.Total() != 0 {
+		t.Fatalf("legal completion flagged: %v", a.Violations())
+	}
+	c.Advance(100)
+	issue = c.BeginMem(false)
+	if issue == 0 {
+		t.Fatal("issue cycle unexpectedly zero")
+	}
+	c.EndMem(issue-1, true)
+	if a.Total() == 0 {
+		t.Fatal("completion before issue not detected")
+	}
+	if a.Violations()[0].Rule != "retired-before-issued" {
+		t.Fatalf("wrong rule: %v", a.Violations()[0])
+	}
+}

@@ -8,6 +8,8 @@
 // prefetching valuable.
 package cpu
 
+import "streamline/internal/audit"
+
 // Config describes the core, per Table II (6-wide, 352-entry ROB).
 type Config struct {
 	Width int
@@ -39,7 +41,16 @@ type Core struct {
 	instrs      uint64
 	lastMemDone uint64 // completion of the most recent load (dependences)
 	maxDone     uint64
+
+	// lastIssue is the issue cycle handed out by the most recent BeginMem,
+	// kept so the audit hook in EndMem can reject completions that precede
+	// their own issue (a retired-before-issued operation).
+	lastIssue uint64
+	aud       *audit.Auditor
 }
+
+// SetAuditor attaches an invariant auditor (nil disables the hooks).
+func (c *Core) SetAuditor(a *audit.Auditor) { c.aud = a }
 
 // New returns a core with the given configuration.
 func New(cfg Config) *Core {
@@ -87,12 +98,16 @@ func (c *Core) BeginMem(dependsOnPrev bool) uint64 {
 	if dependsOnPrev && c.lastMemDone > t {
 		t = c.lastMemDone
 	}
+	c.lastIssue = t
 	return t
 }
 
 // EndMem records the completion of the memory operation begun at BeginMem.
 // isLoad marks operations later instructions may depend on.
 func (c *Core) EndMem(done uint64, isLoad bool) {
+	if c.aud != nil {
+		c.auditEndMem(c.aud, done)
+	}
 	tail := (c.head + c.count) % len(c.rob)
 	c.rob[tail] = robEntry{done: done, instrIdx: c.instrs}
 	if c.count < len(c.rob) {

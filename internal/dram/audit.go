@@ -1,0 +1,43 @@
+package dram
+
+import "streamline/internal/audit"
+
+// AuditScan verifies the memory model's invariants against a, reporting each
+// breach at cycle now. All checks are read-only.
+//
+// Invariants:
+//   - row-buffer state legality: a bank's open row is either -1 (precharged)
+//     or a non-negative row number — any other value means the activate/
+//     precharge state machine was corrupted;
+//   - per-channel bandwidth conservation: every read and write was charged
+//     to exactly one channel, so the per-channel transfer counts sum to the
+//     global access count (a miscounted channel silently under-models
+//     contention);
+//   - row-outcome accounting: every read was classified as exactly one of
+//     row hit, row miss (closed bank), or row conflict.
+func (d *DRAM) AuditScan(a *audit.Auditor, now uint64) {
+	if a == nil {
+		return
+	}
+	for ch := range d.banks {
+		for bk := range d.banks[ch] {
+			if row := d.banks[ch][bk].openRow; row < -1 {
+				a.Reportf(now, "dram", "row-state-illegal",
+					"channel %d bank %d open row %d (want -1 or >= 0)", ch, bk, row)
+			}
+		}
+	}
+	var xfers uint64
+	for _, n := range d.chanXfers {
+		xfers += n
+	}
+	if total := d.Stats.Reads + d.Stats.Writes; xfers != total {
+		a.Reportf(now, "dram", "channel-conservation",
+			"per-channel transfers sum to %d, accesses total %d", xfers, total)
+	}
+	if outcomes := d.Stats.RowHits + d.Stats.RowMisses + d.Stats.RowConflicts; outcomes != d.Stats.Reads {
+		a.Reportf(now, "dram", "row-outcome-accounting",
+			"row hits %d + misses %d + conflicts %d != reads %d",
+			d.Stats.RowHits, d.Stats.RowMisses, d.Stats.RowConflicts, d.Stats.Reads)
+	}
+}

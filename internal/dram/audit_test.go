@@ -1,0 +1,59 @@
+package dram
+
+import (
+	"testing"
+
+	"streamline/internal/audit"
+	"streamline/internal/mem"
+)
+
+func dramRules(d *DRAM) map[string]int {
+	a := audit.New(0)
+	d.AuditScan(a, 0)
+	rules := map[string]int{}
+	for _, v := range a.Violations() {
+		rules[v.Rule]++
+	}
+	return rules
+}
+
+func exercisedDRAM() *DRAM {
+	d := New(ConfigFor(1))
+	for i := 0; i < 64; i++ {
+		d.Access(uint64(i*100), mem.Line(i*977), false)
+	}
+	for i := 0; i < 16; i++ {
+		d.Write(uint64(i*100), mem.Line(i*1031))
+	}
+	return d
+}
+
+func TestAuditCleanAfterTraffic(t *testing.T) {
+	if r := dramRules(exercisedDRAM()); len(r) != 0 {
+		t.Fatalf("clean DRAM reports violations: %v", r)
+	}
+}
+
+func TestAuditDetectsChannelMiscount(t *testing.T) {
+	d := exercisedDRAM()
+	d.chanXfers[0]++
+	if r := dramRules(d); r["channel-conservation"] == 0 {
+		t.Fatalf("channel transfer miscount not detected: %v", r)
+	}
+}
+
+func TestAuditDetectsIllegalRowState(t *testing.T) {
+	d := exercisedDRAM()
+	d.banks[0][0].openRow = -2
+	if r := dramRules(d); r["row-state-illegal"] == 0 {
+		t.Fatalf("illegal row state not detected: %v", r)
+	}
+}
+
+func TestAuditDetectsRowOutcomeDrift(t *testing.T) {
+	d := exercisedDRAM()
+	d.Stats.RowHits++
+	if r := dramRules(d); r["row-outcome-accounting"] == 0 {
+		t.Fatalf("row outcome drift not detected: %v", r)
+	}
+}

@@ -103,15 +103,22 @@ type DRAM struct {
 	cfg   Config
 	chans []channel
 	banks [][]bank // [channel][rank*banksPerRank+bank]
+
+	// chanXfers shadow-counts line transfers per channel for the audit
+	// subsystem's bandwidth-conservation check (every access must be
+	// charged to exactly one channel).
+	chanXfers []uint64
+
 	Stats Stats
 }
 
 // New constructs a DRAM model from cfg.
 func New(cfg Config) *DRAM {
 	d := &DRAM{
-		cfg:   cfg,
-		chans: make([]channel, cfg.Channels),
-		banks: make([][]bank, cfg.Channels),
+		cfg:       cfg,
+		chans:     make([]channel, cfg.Channels),
+		banks:     make([][]bank, cfg.Channels),
+		chanXfers: make([]uint64, cfg.Channels),
 	}
 	for ch := range d.chans {
 		d.chans[ch].busy = mem.RateLimiter{BucketCycles: 128, Capacity: 128}
@@ -148,6 +155,7 @@ func (d *DRAM) route(l mem.Line) (ch, bk int, row int64) {
 func (d *DRAM) Write(now uint64, l mem.Line) {
 	ch, _, _ := d.route(l)
 	d.chans[ch].busy.Charge(now, d.cfg.TransferCycles)
+	d.chanXfers[ch]++
 	d.Stats.Writes++
 }
 
@@ -184,6 +192,7 @@ func (d *DRAM) Access(now uint64, l mem.Line, write bool) uint64 {
 	bankOcc := (rowLat - d.cfg.CAS) + d.cfg.TransferCycles
 	start += b.busy.Charge(start, bankOcc)
 	d.Stats.QueueCycles += start - now
+	d.chanXfers[ch]++
 
 	done := start + rowLat + d.cfg.TransferCycles
 	if write {

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 
+	"streamline/internal/audit"
 	"streamline/internal/core"
 	"streamline/internal/exp/runner"
 	"streamline/internal/meta"
@@ -236,11 +237,18 @@ type Runner struct {
 	// count, elapsed, ETA) from the worker pool. Point it at stderr: its
 	// line order follows completion order and is not deterministic.
 	JobProgress io.Writer
+	// Check enables the runtime invariant audit on every simulation the
+	// runner performs. The checks are read-only — result tables are
+	// byte-identical either way — and AuditSummary reports what they found.
+	Check bool
 
 	logMu   sync.Mutex
 	mu      sync.Mutex
 	memo    map[string]*memoEntry
 	sysMemo map[string]*sysMemoEntry
+
+	audMu    sync.Mutex
+	auditors []*audit.Auditor
 }
 
 // memoEntry single-flights one simulation result.
@@ -310,6 +318,7 @@ func (r *Runner) computeMix(arm Arm, mix []string, cores int, bwFactor float64) 
 		cfg.DRAM = cfg.DRAM.ScaleBandwidth(bwFactor)
 	}
 	arm.Apply(&cfg, r.Scale)
+	r.attachAudit(&cfg, simKey(arm, mix, cores, bwFactor))
 	sys := sim.New(cfg)
 	for c := 0; c < cores; c++ {
 		w, err := workloads.Get(mix[c%len(mix)])
@@ -321,6 +330,42 @@ func (r *Runner) computeMix(arm Arm, mix []string, cores int, bwFactor float64) 
 	}
 	r.logf("  [%s] %s x%d\n", arm.Name, strings.Join(mix, ","), cores)
 	return sys.Run()
+}
+
+// attachAudit arms cfg with a fresh auditor when Check is set, labeling it
+// with the simulation's memo key so a violation traces back to its run. The
+// auditor is retained for AuditSummary.
+func (r *Runner) attachAudit(cfg *sim.Config, key string) {
+	if !r.Check {
+		return
+	}
+	a := audit.New(r.Scale.Seed)
+	a.Label = key
+	cfg.Audit = a
+	r.audMu.Lock()
+	r.auditors = append(r.auditors, a)
+	r.audMu.Unlock()
+}
+
+// AuditSummary writes the findings of every audited simulation to w (full
+// reports only for runs with violations, sorted by label so concurrent
+// scheduling does not reorder output) and returns the total violation count.
+// Zero simulations audited means Check was never set.
+func (r *Runner) AuditSummary(w io.Writer) int {
+	r.audMu.Lock()
+	auds := make([]*audit.Auditor, len(r.auditors))
+	copy(auds, r.auditors)
+	r.audMu.Unlock()
+	sort.Slice(auds, func(i, j int) bool { return auds[i].Label < auds[j].Label })
+	total := 0
+	for _, a := range auds {
+		total += int(a.Total())
+		if a.Total() > 0 {
+			a.WriteReport(w)
+		}
+	}
+	fmt.Fprintf(w, "audit: %d simulation(s) audited, %d violation(s)\n", len(auds), total)
+	return total
 }
 
 // runSystem single-flights a system-retaining simulation under the given

@@ -273,6 +273,7 @@ func (r *Runner) runWithSystemOffchip(workload string) (sim.Result, *sim.System)
 		cfg.TemporalDRAM = func(d *dram.DRAM) prefetch.Prefetcher {
 			return stms.New(stms.DefaultConfig(), d)
 		}
+		r.attachAudit(&cfg, "stms|"+workload+"|sys")
 		sys := sim.New(cfg)
 		w, err := workloads.Get(workload)
 		if err != nil {

@@ -20,7 +20,7 @@ import (
 // at. Budgets are microScale-sized so the test stays in the seconds range.
 func goldenScale() Scale {
 	sc := Small
-	sc.Workloads = []string{"mcf06", "bfs"}
+	sc.Workloads = []string{"mcf06", "bfs", "pr", "sphinx06"}
 	sc.Warmup = 40_000
 	sc.Measure = 120_000
 	return sc
@@ -39,11 +39,16 @@ var goldenStats = []struct {
 	{"none", "bfs", 120000, 126227, 14988, 0, 0, 0},
 	{"streamline", "mcf06", 120000, 603658, 6654, 23690, 23690, 23346},
 	{"streamline", "bfs", 120000, 136780, 13379, 3615, 3615, 1729},
+	{"streamline", "pr", 120000, 204770, 12425, 12373, 12373, 8485},
+	{"triangel", "sphinx06", 120000, 3867400, 21504, 2708, 2708, 2496},
 }
 
 func goldenArm(name string) Arm {
-	if name == "streamline" {
+	switch name {
+	case "streamline":
 		return streamlineArm("streamline", "", "", nil)
+	case "triangel":
+		return triangelArm("triangel", "", "", nil)
 	}
 	return baseArm("", "")
 }

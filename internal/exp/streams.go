@@ -22,6 +22,7 @@ func (r *Runner) runWithSystem(arm Arm, workload string) (sim.Result, *sim.Syste
 	return r.runSystem(arm.Name+"|"+workload, func() (sim.Result, *sim.System) {
 		cfg := r.Scale.baseConfig(1)
 		arm.Apply(&cfg, r.Scale)
+		r.attachAudit(&cfg, arm.Name+"|"+workload+"|sys")
 		sys := sim.New(cfg)
 		w, err := workloads.Get(workload)
 		if err != nil {

@@ -1,0 +1,21 @@
+package berti_test
+
+import (
+	"testing"
+
+	"streamline/internal/prefetch"
+	"streamline/internal/prefetch/berti"
+	"streamline/internal/prefetch/ptest"
+)
+
+func TestConformance(t *testing.T) {
+	cfgs := map[string]berti.Config{
+		"default": berti.DefaultConfig,
+	}
+	for name, cfg := range cfgs {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			ptest.Exercise(t, func() prefetch.Prefetcher { return berti.New(cfg) })
+		})
+	}
+}

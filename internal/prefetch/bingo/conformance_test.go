@@ -1,0 +1,21 @@
+package bingo_test
+
+import (
+	"testing"
+
+	"streamline/internal/prefetch"
+	"streamline/internal/prefetch/bingo"
+	"streamline/internal/prefetch/ptest"
+)
+
+func TestConformance(t *testing.T) {
+	cfgs := map[string]bingo.Config{
+		"default": bingo.DefaultConfig,
+	}
+	for name, cfg := range cfgs {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			ptest.Exercise(t, func() prefetch.Prefetcher { return bingo.New(cfg) })
+		})
+	}
+}

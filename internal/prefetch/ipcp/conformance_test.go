@@ -1,0 +1,21 @@
+package ipcp_test
+
+import (
+	"testing"
+
+	"streamline/internal/prefetch"
+	"streamline/internal/prefetch/ipcp"
+	"streamline/internal/prefetch/ptest"
+)
+
+func TestConformance(t *testing.T) {
+	cfgs := map[string]ipcp.Config{
+		"default": ipcp.DefaultConfig,
+	}
+	for name, cfg := range cfgs {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			ptest.Exercise(t, func() prefetch.Prefetcher { return ipcp.New(cfg) })
+		})
+	}
+}

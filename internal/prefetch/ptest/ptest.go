@@ -1,0 +1,137 @@
+// Package ptest is the shared harness behind each prefetcher package's
+// conformance test. It drives a prefetcher over a deterministic synthetic
+// access stream and checks the contracts every implementation in the
+// repository must satisfy: line-aligned request addresses, a bounded degree
+// per training event, determinism (two fresh instances fed the same stream
+// emit identical request sequences), and — for temporal prefetchers that
+// report metadata statistics — monotonically non-decreasing counters whose
+// accounting identities hold at every step.
+package ptest
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamline/internal/mem"
+	"streamline/internal/meta"
+	"streamline/internal/prefetch"
+)
+
+// maxDegree is the sanity bound on requests per training event; no modeled
+// prefetcher legitimately fans out wider on one access.
+const maxDegree = 512
+
+// streamBase keeps the synthetic stream's lines well away from address zero
+// so negative-stride candidates cannot underflow.
+const streamBase mem.Line = 1 << 20
+
+// Stream returns the deterministic training stream: a sequential walk, a
+// strided walk, and two laps of a pseudo-random pointer chase (the repeat is
+// what gives temporal prefetchers correlations to replay), interleaved with
+// occasional stores and prefetch-hit events the way the simulator would
+// deliver them.
+func Stream() []prefetch.Event {
+	rng := rand.New(rand.NewSource(7))
+	var evs []prefetch.Event
+	now := uint64(0)
+	emit := func(pc mem.PC, l mem.Line, hit, pfHit bool) {
+		now += uint64(rng.Intn(20)) + 1
+		evs = append(evs, prefetch.Event{
+			Now: now, PC: pc, Addr: mem.AddrOf(l) + mem.Addr(rng.Intn(mem.LineSize)),
+			IsStore: rng.Intn(16) == 0, Hit: hit, PrefetchHit: pfHit,
+		})
+	}
+	// Sequential walk.
+	for i := 0; i < 256; i++ {
+		emit(0x400100, streamBase+mem.Line(i), i%4 != 0, false)
+	}
+	// Strided walk (stride 3 lines).
+	for i := 0; i < 256; i++ {
+		emit(0x400200, streamBase+4096+mem.Line(3*i), false, false)
+	}
+	// Pointer chase: a fixed permutation walk over 512 lines, two laps.
+	perm := rng.Perm(512)
+	for lap := 0; lap < 2; lap++ {
+		for _, p := range perm {
+			// Second-lap accesses occasionally arrive as prefetch hits,
+			// the temporal prefetchers' chaining signal.
+			emit(0x400300, streamBase+8192+mem.Line(p), false, lap == 1 && rng.Intn(2) == 0)
+		}
+	}
+	return evs
+}
+
+// metaCounters flattens the identity-checkable counters of a meta.Stats.
+func metaCounters(st meta.Stats) []uint64 {
+	return []uint64{
+		st.Lookups, st.TriggerHits, st.Inserts, st.Updates, st.Reads,
+		st.Writes, st.RearrangeReads, st.RearrangeWrites, st.FilteredInserts,
+		st.FilteredLookups, st.AliasedInserts, st.Evictions,
+	}
+}
+
+// Exercise runs the shared conformance checks against prefetchers built by
+// mk. Each call to mk must return a fresh, identically configured instance.
+func Exercise(t *testing.T, mk func() prefetch.Prefetcher) {
+	t.Helper()
+	evs := Stream()
+	p1, p2 := mk(), mk()
+	var buf1, buf2 []prefetch.Request
+	var prev []uint64
+	for i, ev := range evs {
+		buf1 = p1.Train(ev, buf1[:0])
+		buf2 = p2.Train(ev, buf2[:0])
+
+		if len(buf1) > maxDegree {
+			t.Fatalf("event %d: %d requests from one event (degree bound %d)",
+				i, len(buf1), maxDegree)
+		}
+		for _, r := range buf1 {
+			if mem.Offset(r.Addr) != 0 {
+				t.Fatalf("event %d: unaligned prefetch address %#x", i, uint64(r.Addr))
+			}
+			if r.Addr == 0 || r.Addr >= 1<<44 {
+				t.Fatalf("event %d: prefetch address %#x outside the plausible range",
+					i, uint64(r.Addr))
+			}
+		}
+
+		if len(buf1) != len(buf2) {
+			t.Fatalf("event %d: instance 1 emitted %d requests, instance 2 emitted %d",
+				i, len(buf1), len(buf2))
+		}
+		for j := range buf1 {
+			if buf1[j] != buf2[j] {
+				t.Fatalf("event %d request %d: %+v vs %+v (nondeterministic)",
+					i, j, buf1[j], buf2[j])
+			}
+		}
+
+		if mr, ok := p1.(prefetch.MetaReporter); ok && i%64 == 63 {
+			st := mr.MetaStats()
+			cur := metaCounters(st)
+			for k, v := range cur {
+				if prev != nil && v < prev[k] {
+					t.Fatalf("event %d: metadata counter %d decreased %d -> %d",
+						i, k, prev[k], v)
+				}
+			}
+			prev = cur
+			if st.Reads+st.FilteredLookups != st.Lookups {
+				t.Fatalf("event %d: reads %d + filtered %d != lookups %d",
+					i, st.Reads, st.FilteredLookups, st.Lookups)
+			}
+			if st.Writes != st.Inserts+st.Updates {
+				t.Fatalf("event %d: writes %d != inserts %d + updates %d",
+					i, st.Writes, st.Inserts, st.Updates)
+			}
+			if st.TriggerHits > st.Lookups {
+				t.Fatalf("event %d: trigger hits %d > lookups %d",
+					i, st.TriggerHits, st.Lookups)
+			}
+		}
+	}
+	if p1.Name() == "" {
+		t.Fatal("prefetcher reports an empty name")
+	}
+}

@@ -1,0 +1,21 @@
+package spp_test
+
+import (
+	"testing"
+
+	"streamline/internal/prefetch"
+	"streamline/internal/prefetch/ptest"
+	"streamline/internal/prefetch/spp"
+)
+
+func TestConformance(t *testing.T) {
+	cfgs := map[string]spp.Config{
+		"default": spp.DefaultConfig,
+	}
+	for name, cfg := range cfgs {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			ptest.Exercise(t, func() prefetch.Prefetcher { return spp.New(cfg) })
+		})
+	}
+}

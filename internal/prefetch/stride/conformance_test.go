@@ -1,0 +1,21 @@
+package stride_test
+
+import (
+	"testing"
+
+	"streamline/internal/prefetch"
+	"streamline/internal/prefetch/ptest"
+	"streamline/internal/prefetch/stride"
+)
+
+func TestConformance(t *testing.T) {
+	cfgs := map[string]stride.Config{
+		"default": stride.DefaultConfig,
+	}
+	for name, cfg := range cfgs {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			ptest.Exercise(t, func() prefetch.Prefetcher { return stride.New(cfg) })
+		})
+	}
+}

@@ -1,0 +1,29 @@
+package triage_test
+
+import (
+	"testing"
+
+	"streamline/internal/meta"
+	"streamline/internal/prefetch"
+	"streamline/internal/prefetch/ptest"
+	"streamline/internal/prefetch/triage"
+)
+
+func TestConformance(t *testing.T) {
+	mkCfg := map[string]func() triage.Config{
+		"default": triage.DefaultConfig,
+		"small-budget": func() triage.Config {
+			c := triage.DefaultConfig()
+			c.MetaBytes = 32 << 10
+			return c
+		},
+	}
+	for name, mk := range mkCfg {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			ptest.Exercise(t, func() prefetch.Prefetcher {
+				return triage.New(mk(), &meta.NullBridge{Sets: 256, Ways: 16, Latency: 20})
+			})
+		})
+	}
+}

@@ -1,0 +1,29 @@
+package triangel_test
+
+import (
+	"testing"
+
+	"streamline/internal/meta"
+	"streamline/internal/prefetch"
+	"streamline/internal/prefetch/ptest"
+	"streamline/internal/prefetch/triangel"
+)
+
+func TestConformance(t *testing.T) {
+	mkCfg := map[string]func() triangel.Config{
+		"default": triangel.DefaultConfig,
+		"small-budget": func() triangel.Config {
+			c := triangel.DefaultConfig()
+			c.MetaBytes = 32 << 10
+			return c
+		},
+	}
+	for name, mk := range mkCfg {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			ptest.Exercise(t, func() prefetch.Prefetcher {
+				return triangel.New(mk(), &meta.NullBridge{Sets: 256, Ways: 16, Latency: 20})
+			})
+		})
+	}
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"streamline/internal/audit"
+	"streamline/internal/mem"
+	"streamline/internal/meta"
+)
+
+// defaultAuditInterval is the number of trace records between periodic full
+// invariant scans when Config.AuditInterval is zero.
+const defaultAuditInterval = 4096
+
+// coreLineStride is the per-core line-address stripe width implied by
+// coreAddrStride: core c's lines all satisfy line>>38 == c.
+const coreLineStride = uint64(coreAddrStride) >> mem.LineShift
+
+// storeProvider is implemented by temporal prefetchers whose metadata lives
+// in a meta.Store (Triage, Triangel, Streamline); the audit uses it for the
+// partition-sum cross-check.
+type storeProvider interface {
+	Store() *meta.Store
+}
+
+// auditTick runs the periodic scan cadence; Run calls it after every trace
+// record when auditing is enabled.
+func (s *System) auditTick(cs *coreState) {
+	s.sinceScan++
+	every := s.cfg.AuditInterval
+	if every == 0 {
+		every = defaultAuditInterval
+	}
+	if s.sinceScan >= every {
+		s.sinceScan = 0
+		s.auditScan(cs.core.Now())
+	}
+}
+
+// auditScan runs one full invariant sweep over every component at cycle now.
+// Every check is read-only; an audited run's statistics are byte-identical
+// to an unaudited one.
+func (s *System) auditScan(now uint64) {
+	a := s.cfg.Audit
+	if a == nil {
+		return
+	}
+	a.CountScan()
+	for _, cs := range s.cores {
+		cs.core.AuditScan(a, now)
+		cs.l1d.AuditScan(a, now)
+		cs.l2.AuditScan(a, now)
+		s.auditStripe(a, now, cs)
+	}
+	s.llc.AuditScan(a, now)
+	s.dram.AuditScan(a, now)
+	s.auditPartitions(a, now)
+}
+
+// auditStripe checks core address-space isolation: demand and prefetch
+// traffic for core c is striped into [c<<38, (c+1)<<38) line space, so a
+// line outside that stripe in a private cache means one core's prefetcher
+// reached into another core's address space.
+func (s *System) auditStripe(a *audit.Auditor, now uint64, cs *coreState) {
+	want := uint64(cs.id)
+	check := func(name string) func(int, int, mem.Line) {
+		return func(set, way int, l mem.Line) {
+			if uint64(l)/coreLineStride != want {
+				a.Reportf(now, name, "stripe-isolation",
+					"core %d set %d way %d holds line %#x from core %d's stripe",
+					cs.id, set, way, uint64(l), uint64(l)/coreLineStride)
+			}
+		}
+	}
+	cs.l1d.ForEachLine(check("L1D"))
+	cs.l2.ForEachLine(check("L2"))
+}
+
+// auditPartitions cross-checks the metadata partition sums: the ways the LLC
+// actually reserves must account for exactly the bytes every core's metadata
+// store believes it holds. Skipped when metadata is dedicated (nothing is
+// reserved) or when any core's temporal prefetcher does not expose a
+// meta.Store (the STMS baseline keeps metadata in DRAM).
+func (s *System) auditPartitions(a *audit.Auditor, now uint64) {
+	if s.cfg.DedicatedMetadata {
+		return
+	}
+	want := 0
+	any := false
+	for _, cs := range s.cores {
+		sp, ok := cs.tempf.(storeProvider)
+		if !ok {
+			continue
+		}
+		st := sp.Store()
+		if st == nil {
+			return
+		}
+		any = true
+		want += st.ReservedBlocks()
+		st.AuditScan(a, now)
+	}
+	if !any {
+		return
+	}
+	// Each reserved way slot in a physical set holds one 64B block.
+	got := 0
+	for set := 0; set < s.llc.Sets(); set++ {
+		got += s.llc.ReservedWays(set)
+	}
+	if got != want {
+		a.Reportf(now, "sim", "partition-sum",
+			"LLC reserves %d blocks but stores account for %d", got, want)
+	}
+}

@@ -1,0 +1,220 @@
+package sim_test
+
+// The cross-prefetcher conformance suite: every prefetcher in the repository
+// runs against every workload family with the invariant audit enabled, and
+// must satisfy the contracts shared by all of them — line-aligned prefetch
+// addresses and sound fill accounting (enforced by the audit), issued >=
+// fills >= useful, accuracy and coverage within [0,1], bit-identical results
+// across repeated runs, and zero audit violations.
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"streamline/internal/audit"
+	"streamline/internal/core"
+	"streamline/internal/dram"
+	"streamline/internal/meta"
+	"streamline/internal/prefetch"
+	"streamline/internal/prefetch/berti"
+	"streamline/internal/prefetch/bingo"
+	"streamline/internal/prefetch/ipcp"
+	"streamline/internal/prefetch/spp"
+	"streamline/internal/prefetch/stms"
+	"streamline/internal/prefetch/stride"
+	"streamline/internal/prefetch/triage"
+	"streamline/internal/prefetch/triangel"
+	"streamline/internal/sim"
+	"streamline/internal/workloads"
+)
+
+// conformanceArm configures one prefetcher under test.
+type conformanceArm struct {
+	name  string
+	apply func(cfg *sim.Config)
+}
+
+const confMetaBytes = 32 << 10
+
+// conformanceArms covers every prefetcher in the repository: the two L1D
+// spatial prefetchers, the three L2 spatial prefetchers, the three
+// LLC-metadata temporal prefetchers, and the DRAM-metadata STMS baseline.
+func conformanceArms() []conformanceArm {
+	return []conformanceArm{
+		{"stride", func(cfg *sim.Config) {
+			cfg.L1DPrefetcher = func() prefetch.Prefetcher { return stride.New(stride.DefaultConfig) }
+		}},
+		{"berti", func(cfg *sim.Config) {
+			cfg.L1DPrefetcher = func() prefetch.Prefetcher { return berti.New(berti.DefaultConfig) }
+		}},
+		{"ipcp", func(cfg *sim.Config) {
+			cfg.L2Prefetcher = func() prefetch.Prefetcher { return ipcp.New(ipcp.DefaultConfig) }
+		}},
+		{"bingo", func(cfg *sim.Config) {
+			cfg.L2Prefetcher = func() prefetch.Prefetcher { return bingo.New(bingo.DefaultConfig) }
+		}},
+		{"spp", func(cfg *sim.Config) {
+			cfg.L2Prefetcher = func() prefetch.Prefetcher { return spp.New(spp.DefaultConfig) }
+		}},
+		{"triage", func(cfg *sim.Config) {
+			cfg.Temporal = func(b meta.Bridge) prefetch.Prefetcher {
+				c := triage.DefaultConfig()
+				c.MetaBytes = confMetaBytes
+				return triage.New(c, b)
+			}
+		}},
+		{"triangel", func(cfg *sim.Config) {
+			cfg.Temporal = func(b meta.Bridge) prefetch.Prefetcher {
+				c := triangel.DefaultConfig()
+				c.MetaBytes = confMetaBytes
+				return triangel.New(c, b)
+			}
+		}},
+		{"streamline", func(cfg *sim.Config) {
+			cfg.Temporal = func(b meta.Bridge) prefetch.Prefetcher {
+				o := core.DefaultOptions()
+				o.MetaBytes = confMetaBytes
+				o.MinSets = 8
+				return core.New(o, b)
+			}
+		}},
+		{"stms", func(cfg *sim.Config) {
+			cfg.TemporalDRAM = func(d *dram.DRAM) prefetch.Prefetcher {
+				return stms.New(stms.DefaultConfig(), d)
+			}
+		}},
+	}
+}
+
+// conformanceFamilies names one representative workload per access-pattern
+// family: pointer chase, scan-then-chase, graph gather, graph frontier,
+// sparse algebra, sparse streaming, and dense streaming.
+var conformanceFamilies = []string{
+	"mcf06", "omnetpp06", "pr", "bfs", "soplex06", "xz17", "libquantum06",
+}
+
+const conformanceSeed = 1
+
+// runConformance executes one audited micro-run. Warmup is zero so the
+// result counters cover the whole run — the fills>=useful contract only
+// holds for whole-run statistics (a warmup-installed prefetch used in the
+// measured phase would otherwise count as useful without a counted fill).
+func runConformance(t *testing.T, arm conformanceArm, workload string) (sim.Result, *audit.Auditor) {
+	t.Helper()
+	cfg := sim.DefaultConfig(1)
+	cfg.LLC.Sets = 128
+	cfg.L2.Sets = 64
+	cfg.WarmupInstructions = 0
+	cfg.MeasureInstructions = 30_000
+	cfg.AuditInterval = 512
+	arm.apply(&cfg)
+
+	aud := audit.New(conformanceSeed)
+	aud.Label = arm.name + "|" + workload
+	cfg.Audit = aud
+
+	w, err := workloads.Get(workload)
+	if err != nil {
+		t.Fatalf("workload %s: %v", workload, err)
+	}
+	sys := sim.New(cfg)
+	sys.SetTrace(0, w.NewTrace(workloads.Scale{Footprint: 0.05}, conformanceSeed))
+	return sys.Run(), aud
+}
+
+func TestConformance(t *testing.T) {
+	base := map[string]uint64{}
+	for _, w := range conformanceFamilies {
+		res, aud := runConformance(t, conformanceArm{name: "none", apply: func(cfg *sim.Config) {}}, w)
+		if n := aud.Total(); n != 0 {
+			var sb strings.Builder
+			aud.WriteReport(&sb)
+			t.Fatalf("baseline %s: %d audit violations:\n%s", w, n, sb.String())
+		}
+		if got := res.Cores[0].PrefetchesIssued; got != 0 {
+			t.Fatalf("baseline %s issued %d prefetches, want 0", w, got)
+		}
+		base[w] = res.Cores[0].L2.DemandMisses
+	}
+
+	for _, arm := range conformanceArms() {
+		arm := arm
+		t.Run(arm.name, func(t *testing.T) {
+			for _, w := range conformanceFamilies {
+				w := w
+				t.Run(w, func(t *testing.T) {
+					res, aud := runConformance(t, arm, w)
+
+					// Contract: zero invariant violations under audit.
+					if n := aud.Total(); n != 0 {
+						var sb strings.Builder
+						aud.WriteReport(&sb)
+						t.Errorf("%d audit violations:\n%s", n, sb.String())
+					}
+					if aud.Scans() == 0 {
+						t.Error("audit performed zero scans; cadence is broken")
+					}
+
+					// Contract: determinism — an identical second run must
+					// produce bit-identical results.
+					res2, _ := runConformance(t, arm, w)
+					if !reflect.DeepEqual(res, res2) {
+						t.Errorf("results differ between identical runs:\n%s", diffSummary(res, res2))
+					}
+
+					c := res.Cores[0]
+					if c.Instructions < 30_000 {
+						t.Errorf("ran %d instructions, want >= 30000", c.Instructions)
+					}
+
+					// Contract: fill accounting. Every prefetch fill at any
+					// level traces to exactly one issued prefetch, and a
+					// prefetched line must be filled before it can be useful.
+					fills := c.L1D.PrefetchFills + c.L2.PrefetchFills
+					if fills > c.PrefetchesIssued {
+						t.Errorf("prefetch fills %d > issued %d", fills, c.PrefetchesIssued)
+					}
+					if c.L2.UsefulPrefetches > c.L2.PrefetchFills {
+						t.Errorf("L2 useful %d > fills %d", c.L2.UsefulPrefetches, c.L2.PrefetchFills)
+					}
+					if c.L1D.UsefulPrefetches > c.L1D.PrefetchFills {
+						t.Errorf("L1D useful %d > fills %d", c.L1D.UsefulPrefetches, c.L1D.PrefetchFills)
+					}
+
+					// Contract: derived metrics stay in range.
+					if acc := c.PrefetchAccuracy(); acc < 0 || acc > 1 {
+						t.Errorf("accuracy %f outside [0,1]", acc)
+					}
+					cov := coverage(base[w], c.L2.DemandMisses)
+					if cov < 0 || cov > 1 {
+						t.Errorf("coverage %f outside [0,1]", cov)
+					}
+				})
+			}
+		})
+	}
+}
+
+// coverage mirrors the experiment harness's definition: the fraction of
+// baseline L2 demand misses removed, floored at zero when the prefetcher
+// adds misses.
+func coverage(baseMisses, misses uint64) float64 {
+	if baseMisses == 0 || misses >= baseMisses {
+		return 0
+	}
+	return float64(baseMisses-misses) / float64(baseMisses)
+}
+
+// diffSummary renders the headline counters of two results for determinism
+// failures.
+func diffSummary(a, b sim.Result) string {
+	f := func(r sim.Result) string {
+		c := r.Cores[0]
+		return fmt.Sprintf("instr=%d cycles=%d issued=%d l2fills=%d useful=%d dram=%d",
+			c.Instructions, c.Cycles, c.PrefetchesIssued,
+			c.L2.PrefetchFills, c.L2.UsefulPrefetches, r.DRAM.Reads)
+	}
+	return "  run1: " + f(a) + "\n  run2: " + f(b)
+}

@@ -184,6 +184,11 @@ func (s *System) trainL2(cs *coreState, now uint64, acc mem.Access, hit, prefetc
 // issuePrefetch resolves a prefetch request into fills. level 1 fills
 // L1D+L2; level 2 fills only the L2.
 func (s *System) issuePrefetch(cs *coreState, now uint64, req prefetch.Request, level int) {
+	if a := s.cfg.Audit; a != nil && mem.Offset(req.Addr) != 0 {
+		a.Reportf(now, "sim", "unaligned-prefetch",
+			"core %d issued prefetch for %#x (offset %d within the line)",
+			cs.id, uint64(req.Addr), mem.Offset(req.Addr))
+	}
 	acc := mem.Access{PC: 0, Addr: req.Addr, Kind: mem.Prefetch, Core: cs.id}
 	if cs.l2.Probe(acc.Line()) {
 		if level == 1 && !cs.l1d.Probe(acc.Line()) {
@@ -298,6 +303,18 @@ func (s *System) Run() Result {
 			next.final = s.snapshotCore(next)
 			next.done = true
 		}
+		if s.cfg.Audit != nil {
+			s.auditTick(next)
+		}
+	}
+	if s.cfg.Audit != nil {
+		var end uint64
+		for _, cs := range s.cores {
+			if f := cs.core.Finish(); f > end {
+				end = f
+			}
+		}
+		s.auditScan(end)
 	}
 	return s.collect()
 }

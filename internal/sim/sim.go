@@ -8,6 +8,7 @@ package sim
 import (
 	"fmt"
 
+	"streamline/internal/audit"
 	"streamline/internal/cache"
 	"streamline/internal/cpu"
 	"streamline/internal/dram"
@@ -55,6 +56,17 @@ type Config struct {
 	// WarmupInstructions and MeasureInstructions bound each core's run.
 	WarmupInstructions  uint64
 	MeasureInstructions uint64
+
+	// Audit, when non-nil, enables the runtime invariant-checking
+	// subsystem: the hierarchy's structural invariants are verified during
+	// and after the run and violations reported to this auditor. Checks
+	// are read-only, so an audited run produces byte-identical statistics;
+	// nil (the default) reduces every hook to a branch.
+	Audit *audit.Auditor
+	// AuditInterval is the number of trace records between periodic full
+	// invariant scans when Audit is set; zero means the default (4096).
+	// A final scan always runs when the simulation completes.
+	AuditInterval uint64
 }
 
 // DefaultConfig returns the Table II system for the given core count.
@@ -111,6 +123,9 @@ type System struct {
 	llc    *cache.Cache
 	dram   *dram.DRAM
 	bridge []*llcBridge
+
+	// sinceScan counts trace records since the last periodic audit scan.
+	sinceScan uint64
 }
 
 // llcBridge adapts the shared LLC to one core's metadata store, interleaving
@@ -173,6 +188,9 @@ func New(cfg Config) *System {
 			l1pf:   prefetch.Nil{},
 			l2pf:   prefetch.Nil{},
 			tempf:  prefetch.Nil{},
+		}
+		if cfg.Audit != nil {
+			cs.core.SetAuditor(cfg.Audit)
 		}
 		if cfg.L1DPrefetcher != nil {
 			cs.l1pf = cfg.L1DPrefetcher()
