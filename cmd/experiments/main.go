@@ -24,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -41,6 +42,11 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
 		jsonDest = flag.String("json", "", "write all results as JSON to this file ('-' for stdout)")
 		check    = flag.Bool("check", false, "run every simulation with the invariant audit enabled; exit 1 on violations")
+
+		telDir     = flag.String("telemetry-dir", "", "write per-simulation telemetry JSONL files into this directory")
+		sampleIvl  = flag.Uint64("sample-interval", 0, "measured instructions between telemetry samples per core (0: a tenth of the measured window)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -80,6 +86,18 @@ func main() {
 		}
 	}
 
+	// os.Exit skips defers, so every exit after this point goes through
+	// exit() to flush the profiles.
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	exit := func(code int) {
+		stopProfiles()
+		os.Exit(code)
+	}
+
 	runner := exp.NewRunner(sc)
 	runner.Jobs = *jobs
 	runner.Check = *check
@@ -92,8 +110,16 @@ func main() {
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
+	}
+	if *telDir != "" {
+		if err := os.MkdirAll(*telDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(1)
+		}
+		runner.TelemetryDir = *telDir
+		runner.SampleInterval = *sampleIvl
 	}
 	report := jsonReport{Scale: sc.Name, Jobs: runner.Jobs}
 	for _, e := range selected {
@@ -105,7 +131,7 @@ func main() {
 			if *csvDir != "" {
 				if err := writeCSV(*csvDir, t); err != nil {
 					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
+					exit(1)
 				}
 			}
 		}
@@ -120,16 +146,61 @@ func main() {
 	if *jsonDest != "" {
 		if err := writeJSON(*jsonDest, report); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
+	}
+	if err := runner.TelemetryErr(); err != nil {
+		fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+		exit(1)
 	}
 	if *check {
 		// The audit summary goes to stderr so stdout stays byte-identical
 		// with unaudited runs.
 		if runner.AuditSummary(os.Stderr) > 0 {
-			os.Exit(1)
+			exit(1)
 		}
 	}
+	stopProfiles()
+}
+
+// startProfiles begins CPU profiling and arranges a heap profile, returning
+// a stop function that must run before every exit (os.Exit skips defers).
+func startProfiles(cpuDest, memDest string) (func(), error) {
+	var cpuFile *os.File
+	if cpuDest != "" {
+		f, err := os.Create(cpuDest)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memDest != "" {
+			f, err := os.Create(memDest)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
 }
 
 // jsonReport is the -json results document: everything the text tables

@@ -5,15 +5,21 @@
 //
 //	streamsim -workload sphinx06 -temporal streamline
 //	streamsim -workload pr -l1 stride -temporal triangel -cores 4
+//	streamsim -workload mcf06 -temporal streamline -telemetry out.jsonl -timeline
 //	streamsim -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"streamline/internal/audit"
+	"streamline/internal/cache"
 	"streamline/internal/core"
 	"streamline/internal/dram"
 	"streamline/internal/meta"
@@ -27,6 +33,7 @@ import (
 	"streamline/internal/prefetch/triage"
 	"streamline/internal/prefetch/triangel"
 	"streamline/internal/sim"
+	"streamline/internal/telemetry"
 	"streamline/internal/workloads"
 )
 
@@ -45,6 +52,14 @@ func main() {
 		seed      = flag.Int64("seed", 1, "workload seed")
 		list      = flag.Bool("list", false, "list workloads and exit")
 		check     = flag.Bool("check", false, "enable the runtime invariant audit; exit 1 on violations")
+
+		telOut     = flag.String("telemetry", "", "write interval samples and events as JSONL to this file")
+		telLevel   = flag.String("telemetry-level", "info", "minimum event severity to record: debug|info|warn")
+		sampleIvl  = flag.Uint64("sample-interval", 100_000, "measured instructions between telemetry samples per core (0 disables sampling)")
+		timeline   = flag.Bool("timeline", false, "render the per-interval IPC/MPKI timeline on stderr after the run")
+		jsonDest   = flag.String("json", "", "write the final result as JSON to this file ('-' for stdout)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -71,6 +86,11 @@ func main() {
 	}
 	if *llcSets < 16 || *llcSets&(*llcSets-1) != 0 {
 		fmt.Fprintf(os.Stderr, "-llc-sets must be a power of two >= 16, got %d\n", *llcSets)
+		os.Exit(2)
+	}
+	sev, err := telemetry.ParseSeverity(*telLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -135,11 +155,47 @@ func main() {
 		os.Exit(2)
 	}
 
+	// os.Exit skips defers, so every exit after this point goes through
+	// exit() to flush the profiles.
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	exit := func(code int) {
+		stopProfiles()
+		os.Exit(code)
+	}
+
 	var aud *audit.Auditor
 	if *check {
 		aud = audit.New(*seed)
 		aud.Label = fmt.Sprintf("%s|%s|%s|%s|x%d", *workload, *l1, *l2, *temporal, *cores)
 		cfg.Audit = aud
+	}
+
+	// Telemetry: a sink only when an output file is requested; the timeline
+	// works sink-less by retaining interval records in memory. Both write
+	// nothing to stdout, so instrumented runs print identical statistics.
+	var col *telemetry.Collector
+	var telFile *os.File
+	if *telOut != "" || *timeline {
+		var sink *telemetry.Sink
+		if *telOut != "" {
+			f, err := os.Create(*telOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				exit(1)
+			}
+			telFile = f
+			sink = telemetry.NewSink(f)
+			sink.SetMinSeverity(sev)
+		}
+		col = telemetry.New(sink, *sampleIvl)
+		if *timeline {
+			col.KeepIntervals()
+		}
+		cfg.Telemetry = col
 	}
 
 	sys := sim.New(cfg)
@@ -160,6 +216,14 @@ func main() {
 				c.PrefetchesIssued, c.L2.PrefetchFills, c.L2.UsefulPrefetches,
 				c.PrefetchAccuracy()*100)
 		}
+		for _, p := range c.Prefetchers {
+			if p.Issued == 0 && p.Fills == 0 {
+				continue
+			}
+			fmt.Printf("    %-8s %d issued (%d dup-dropped), %d fills: %d timely + %d late useful, %d evicted unused (%.1f%% accuracy)\n",
+				p.Source+":", p.Issued, p.DroppedDuplicate, p.Fills,
+				p.UsefulTimely, p.UsefulLate, p.EvictedUnused, p.Accuracy()*100)
+		}
 		if c.Meta.Lookups > 0 {
 			fmt.Printf("  metadata: %d lookups (%.1f%% trigger hit), %d reads, %d writes, %d rearrange blocks, %d filtered\n",
 				c.Meta.Lookups, c.Meta.TriggerHitRate()*100, c.Meta.Reads, c.Meta.Writes,
@@ -171,13 +235,172 @@ func main() {
 	fmt.Printf("DRAM: %d reads, %d writes, %.1f%% row hits, %d queue cycles\n",
 		res.DRAM.Reads, res.DRAM.Writes, res.DRAM.RowHitRate()*100, res.DRAM.QueueCycles)
 
+	if *timeline {
+		col.Timeline(os.Stderr)
+	}
+	if err := col.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+		exit(1)
+	}
+	if telFile != nil {
+		if err := telFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			exit(1)
+		}
+	}
+
+	if *jsonDest != "" {
+		if err := writeJSON(*jsonDest, buildJSON(*workload, *l1, *l2, *temporal, *cores, *seed, res)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(1)
+		}
+	}
+
 	if aud != nil {
 		// Audit output goes to stderr so stdout stays byte-identical with
 		// unaudited runs.
 		if aud.Total() > 0 {
 			aud.WriteReport(os.Stderr)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "audit: clean (%d scans)\n", aud.Scans())
 	}
+	stopProfiles()
+}
+
+// jsonResult is the -json document: the run configuration, every core's raw
+// statistics plus the derived rates the tables print, and the per-engine
+// prefetch lifecycle attribution.
+type jsonResult struct {
+	Workload string `json:"workload"`
+	Cores    int    `json:"cores"`
+	L1       string `json:"l1"`
+	L2       string `json:"l2"`
+	Temporal string `json:"temporal"`
+	Seed     int64  `json:"seed"`
+
+	CoreResults []jsonCore  `json:"coreResults"`
+	LLC         cache.Stats `json:"llc"`
+	DRAM        dram.Stats  `json:"dram"`
+}
+
+type jsonCore struct {
+	Core             int     `json:"core"`
+	Instructions     uint64  `json:"instructions"`
+	Cycles           uint64  `json:"cycles"`
+	IPC              float64 `json:"ipc"`
+	L1DMPKI          float64 `json:"l1dMpki"`
+	L2MPKI           float64 `json:"l2Mpki"`
+	PrefetchAccuracy float64 `json:"prefetchAccuracy"`
+
+	L1D cache.Stats `json:"l1d"`
+	L2  cache.Stats `json:"l2"`
+
+	PrefetchesIssued uint64           `json:"prefetchesIssued"`
+	Prefetchers      []jsonPrefetcher `json:"prefetchers"`
+	Meta             meta.Stats       `json:"meta"`
+}
+
+type jsonPrefetcher struct {
+	Source           string  `json:"source"`
+	Issued           uint64  `json:"issued"`
+	DroppedDuplicate uint64  `json:"droppedDuplicate"`
+	Fills            uint64  `json:"fills"`
+	UsefulTimely     uint64  `json:"usefulTimely"`
+	UsefulLate       uint64  `json:"usefulLate"`
+	EvictedUnused    uint64  `json:"evictedUnused"`
+	Accuracy         float64 `json:"accuracy"`
+	Pollution        float64 `json:"pollution"`
+}
+
+func buildJSON(workload, l1, l2, temporal string, cores int, seed int64, res sim.Result) jsonResult {
+	out := jsonResult{
+		Workload: workload, Cores: cores, L1: l1, L2: l2, Temporal: temporal, Seed: seed,
+		LLC: res.LLC, DRAM: res.DRAM,
+	}
+	for i, c := range res.Cores {
+		jc := jsonCore{
+			Core:             i,
+			Instructions:     c.Instructions,
+			Cycles:           c.Cycles,
+			IPC:              c.IPC,
+			L1DMPKI:          c.L1DMPKI(),
+			L2MPKI:           c.L2MPKI(),
+			PrefetchAccuracy: c.PrefetchAccuracy(),
+			L1D:              c.L1D,
+			L2:               c.L2,
+			PrefetchesIssued: c.PrefetchesIssued,
+			Meta:             c.Meta,
+		}
+		for _, p := range c.Prefetchers {
+			jc.Prefetchers = append(jc.Prefetchers, jsonPrefetcher{
+				Source:           p.Source,
+				Issued:           p.Issued,
+				DroppedDuplicate: p.DroppedDuplicate,
+				Fills:            p.Fills,
+				UsefulTimely:     p.UsefulTimely,
+				UsefulLate:       p.UsefulLate,
+				EvictedUnused:    p.EvictedUnused,
+				Accuracy:         p.Accuracy(),
+				Pollution:        p.Pollution(),
+			})
+		}
+		out.CoreResults = append(out.CoreResults, jc)
+	}
+	return out
+}
+
+func writeJSON(dest string, res jsonResult) error {
+	var w io.Writer = os.Stdout
+	if dest != "-" {
+		f, err := os.Create(dest)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// startProfiles begins CPU profiling and arranges a heap profile, returning
+// a stop function that must run before every exit (os.Exit skips defers).
+func startProfiles(cpuDest, memDest string) (func(), error) {
+	var cpuFile *os.File
+	if cpuDest != "" {
+		f, err := os.Create(cpuDest)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memDest != "" {
+			f, err := os.Create(memDest)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
 }

@@ -57,6 +57,10 @@ type Auditor struct {
 	// Limit bounds the retained violations; further ones are counted but
 	// dropped, so a systematically broken run cannot exhaust memory.
 	Limit int
+	// OnViolation, when set, observes every violation as it is reported —
+	// including ones past the retention limit. The simulator uses it to
+	// mirror violations into the telemetry event trace.
+	OnViolation func(Violation)
 
 	violations []Violation
 	total      uint64
@@ -78,6 +82,15 @@ func (a *Auditor) Reportf(cycle uint64, component, rule, format string, args ...
 		return
 	}
 	a.total++
+	v := Violation{
+		Cycle:     cycle,
+		Component: component,
+		Rule:      rule,
+		Detail:    fmt.Sprintf(format, args...),
+	}
+	if a.OnViolation != nil {
+		a.OnViolation(v)
+	}
 	limit := a.Limit
 	if limit <= 0 {
 		limit = DefaultLimit
@@ -85,12 +98,7 @@ func (a *Auditor) Reportf(cycle uint64, component, rule, format string, args ...
 	if len(a.violations) >= limit {
 		return
 	}
-	a.violations = append(a.violations, Violation{
-		Cycle:     cycle,
-		Component: component,
-		Rule:      rule,
-		Detail:    fmt.Sprintf(format, args...),
-	})
+	a.violations = append(a.violations, v)
 }
 
 // CountScan records that one full invariant scan completed, so reports can

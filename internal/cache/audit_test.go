@@ -26,7 +26,7 @@ func propCache() *Cache {
 	for i := 0; i < 8; i++ {
 		l := mem.Line(i * 5)
 		c.Lookup(uint64(i), mem.Access{Addr: mem.AddrOf(l), Kind: mem.Load})
-		c.Fill(mem.Access{Addr: mem.AddrOf(l), Kind: mem.Load}, uint64(i), false)
+		c.Fill(mem.Access{Addr: mem.AddrOf(l), Kind: mem.Load}, uint64(i), SrcDemand)
 	}
 	return c
 }

@@ -10,6 +10,7 @@ import (
 
 	"streamline/internal/mem"
 	"streamline/internal/replacement"
+	"streamline/internal/telemetry"
 )
 
 // Config describes one cache level.
@@ -30,6 +31,69 @@ type Config struct {
 
 // SizeBytes returns the data capacity of the configured cache.
 func (c Config) SizeBytes() int { return c.Sets * c.Ways * mem.LineSize }
+
+// Source identifies the prefetcher that issued a fill, for lifecycle
+// attribution: every prefetched line remembers which engine brought it in,
+// so its eventual outcome (useful-timely, useful-late, evicted-unused) is
+// credited to that engine. SrcDemand marks ordinary demand fills.
+type Source uint8
+
+const (
+	SrcDemand Source = iota
+	SrcL1
+	SrcL2
+	SrcTemporal
+	// NumSources sizes per-source counter arrays.
+	NumSources = int(iota)
+)
+
+// String returns the source's report name.
+func (s Source) String() string {
+	switch s {
+	case SrcDemand:
+		return "demand"
+	case SrcL1:
+		return "l1"
+	case SrcL2:
+		return "l2"
+	case SrcTemporal:
+		return "temporal"
+	}
+	return fmt.Sprintf("source(%d)", uint8(s))
+}
+
+// SourceStats is one prefetch source's lifecycle breakdown at a cache level.
+// The fields partition this source's prefetch fills by outcome (lines still
+// resident at the end of a run account for the remainder).
+type SourceStats struct {
+	Fills uint64
+	// UsefulTimely counts first demand hits that found the fill complete;
+	// UsefulLate counts first demand hits that had to wait on the in-flight
+	// fill. Their sum is this source's share of UsefulPrefetches.
+	UsefulTimely uint64
+	UsefulLate   uint64
+	// EvictedUnused counts prefetched lines evicted before any demand hit —
+	// pure pollution.
+	EvictedUnused uint64
+}
+
+// Useful returns total useful prefetches (timely plus late).
+func (s SourceStats) Useful() uint64 { return s.UsefulTimely + s.UsefulLate }
+
+// Accuracy returns useful over fills, clamped to [0,1] — the single
+// definition of prefetch accuracy shared by final reports, the epoch
+// feedback the simulator delivers to accuracy-consuming prefetchers, and
+// the telemetry sampler's interval records.
+func Accuracy(useful, fills uint64) float64 {
+	if fills == 0 {
+		return 0
+	}
+	a := float64(useful) / float64(fills)
+	if a > 1 {
+		a = 1
+	}
+	return a
+}
 
 // Stats aggregates a cache level's event counts.
 type Stats struct {
@@ -54,6 +118,10 @@ type Stats struct {
 	PortStallCycles uint64 // queueing delay due to port contention
 	MSHRStallCycles uint64 // delay waiting for a free MSHR
 	ExtraWaitCycles uint64 // demand cycles spent waiting on in-flight fills
+
+	// Sources is the per-prefetcher lifecycle attribution (indexed by
+	// Source; the SrcDemand slot stays zero).
+	Sources [NumSources]SourceStats
 }
 
 // DemandHitRate returns demand hits over demand accesses.
@@ -64,12 +132,18 @@ func (s Stats) DemandHitRate() float64 {
 	return float64(s.DemandHits) / float64(s.DemandAccesses)
 }
 
+// PrefetchAccuracy returns useful prefetches over prefetch fills.
+func (s Stats) PrefetchAccuracy() float64 {
+	return Accuracy(s.UsefulPrefetches, s.PrefetchFills)
+}
+
 type line struct {
 	tag        mem.Line
 	pc         mem.PC
 	valid      bool
 	dirty      bool
 	prefetched bool
+	src        Source // issuing prefetcher (meaningful while prefetched)
 	readyAt    uint64 // cycle at which the fill completes (late prefetches)
 }
 
@@ -103,8 +177,15 @@ type Cache struct {
 	occupied    int
 	mshrPending int
 
+	// tel, when non-nil, receives this level's structured telemetry events
+	// (MSHR-full stalls); nil reduces the hooks to a branch.
+	tel *telemetry.Emitter
+
 	Stats Stats
 }
+
+// SetTelemetry attaches a telemetry emitter (nil disables the hooks).
+func (c *Cache) SetTelemetry(e *telemetry.Emitter) { c.tel = e }
 
 // New constructs a cache from cfg.
 func New(cfg Config) *Cache {
@@ -190,6 +271,10 @@ func (c *Cache) MSHRReserve(start uint64) (slot int, delay uint64) {
 	c.mshrI = (c.mshrI + 1) % len(c.mshr)
 	c.Stats.MSHRStallCycles += delay
 	c.mshrPending++
+	if delay > 0 && c.tel.Enabled(telemetry.Debug) {
+		c.tel.Eventf(start, telemetry.Debug, "mshr-full",
+			"all %d MSHRs busy; miss stalled %d cycles", len(c.mshr), delay)
+	}
 	return slot, delay
 }
 
@@ -229,12 +314,14 @@ func (c *Cache) Lookup(now uint64, a mem.Access) LookupResult {
 		}
 		var res LookupResult
 		res.Hit = true
+		late := false
 		if ln.readyAt > now {
 			res.ExtraWait = ln.readyAt - now
 			if demand {
 				c.Stats.ExtraWaitCycles += res.ExtraWait
 				if ln.prefetched {
 					c.Stats.LatePrefetches++
+					late = true
 				}
 			}
 		}
@@ -244,6 +331,11 @@ func (c *Cache) Lookup(now uint64, a mem.Access) LookupResult {
 				res.WasPrefetched = true
 				ln.prefetched = false
 				c.Stats.UsefulPrefetches++
+				if late {
+					c.Stats.Sources[ln.src].UsefulLate++
+				} else {
+					c.Stats.Sources[ln.src].UsefulTimely++
+				}
 			}
 		} else if a.Kind == mem.Prefetch {
 			c.Stats.PrefetchHits++
@@ -274,8 +366,10 @@ func (c *Cache) Probe(l mem.Line) bool {
 
 // Fill installs a line, returning the displaced victim (Valid=false when an
 // empty way absorbed the fill). readyAt is the cycle the fill data arrives;
-// prefetch marks prefetch-installed lines for coverage accounting.
-func (c *Cache) Fill(a mem.Access, readyAt uint64, prefetch bool) Victim {
+// a src other than SrcDemand marks the line prefetch-installed for coverage
+// accounting and attributes its lifecycle to that prefetcher.
+func (c *Cache) Fill(a mem.Access, readyAt uint64, src Source) Victim {
+	prefetch := src != SrcDemand
 	set := c.SetOf(a.Line())
 	lo := c.reserved[set]
 	if lo >= c.cfg.Ways {
@@ -305,11 +399,13 @@ func (c *Cache) Fill(a mem.Access, readyAt uint64, prefetch bool) Victim {
 		}
 		if ln.prefetched {
 			c.Stats.UnusedPrefetches++
+			c.Stats.Sources[ln.src].EvictedUnused++
 		}
 		c.repl.Evict(set, way)
 	}
 	if prefetch {
 		c.Stats.PrefetchFills++
+		c.Stats.Sources[src].Fills++
 	}
 	if !c.sets[set][way].valid {
 		c.occupied++
@@ -320,6 +416,7 @@ func (c *Cache) Fill(a mem.Access, readyAt uint64, prefetch bool) Victim {
 		valid:      true,
 		dirty:      a.Kind == mem.Store || a.Kind == mem.Writeback,
 		prefetched: prefetch,
+		src:        src,
 		readyAt:    readyAt,
 	}
 	c.repl.Fill(set, way, replacement.Access{PC: a.PC, Line: a.Line()})
@@ -401,4 +498,27 @@ func (c *Cache) OccupiedLines() int {
 		}
 	}
 	return n
+}
+
+// OccupancyBreakdown scans the cache and splits its capacity three ways:
+// valid lines owned by demand (including prefetched lines a demand has
+// since referenced), prefetched lines not yet referenced, and way slots
+// reserved for metadata partitions. The scan is read-only; the telemetry
+// sampler uses it for the LLC occupancy series.
+func (c *Cache) OccupancyBreakdown() (demand, prefetched, reserved int) {
+	for s := range c.sets {
+		reserved += c.reserved[s]
+		for w := c.reserved[s]; w < c.cfg.Ways; w++ {
+			ln := &c.sets[s][w]
+			if !ln.valid {
+				continue
+			}
+			if ln.prefetched {
+				prefetched++
+			} else {
+				demand++
+			}
+		}
+	}
+	return demand, prefetched, reserved
 }

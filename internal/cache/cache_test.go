@@ -22,7 +22,7 @@ func TestMissThenHit(t *testing.T) {
 	if r := c.Lookup(0, a); r.Hit {
 		t.Fatal("cold lookup hit")
 	}
-	c.Fill(a, 0, false)
+	c.Fill(a, 0, SrcDemand)
 	if r := c.Lookup(1, a); !r.Hit {
 		t.Fatal("lookup after fill missed")
 	}
@@ -44,7 +44,7 @@ func TestEvictionWithinSet(t *testing.T) {
 		l := mem.Line(i * 16)
 		a := loadAt(l)
 		c.Lookup(uint64(i), a)
-		v := c.Fill(a, uint64(i), false)
+		v := c.Fill(a, uint64(i), SrcDemand)
 		if i < 4 && v.Valid {
 			t.Errorf("fill %d evicted %+v from a non-full set", i, v)
 		}
@@ -60,10 +60,10 @@ func TestEvictionWithinSet(t *testing.T) {
 func TestDirtyVictimProducesWriteback(t *testing.T) {
 	c := New(testConfig())
 	st := mem.Access{PC: 1, Addr: mem.AddrOf(0), Kind: mem.Store}
-	c.Fill(st, 0, false)
+	c.Fill(st, 0, SrcDemand)
 	for i := 1; i <= 4; i++ {
 		a := loadAt(mem.Line(i * 16))
-		c.Fill(a, 0, false)
+		c.Fill(a, 0, SrcDemand)
 	}
 	if c.Stats.Writebacks != 1 {
 		t.Errorf("writebacks = %d, want 1", c.Stats.Writebacks)
@@ -73,14 +73,14 @@ func TestDirtyVictimProducesWriteback(t *testing.T) {
 func TestStoreHitMarksDirty(t *testing.T) {
 	c := New(testConfig())
 	a := loadAt(3)
-	c.Fill(a, 0, false)
+	c.Fill(a, 0, SrcDemand)
 	st := mem.Access{PC: 1, Addr: mem.AddrOf(3), Kind: mem.Store}
 	if r := c.Lookup(0, st); !r.Hit {
 		t.Fatal("store missed a resident line")
 	}
 	// Evict it (same set: lines 3+16i) and confirm the writeback.
 	for i := 1; i <= 4; i++ {
-		c.Fill(loadAt(mem.Line(3+i*16)), 0, false)
+		c.Fill(loadAt(mem.Line(3+i*16)), 0, SrcDemand)
 	}
 	if c.Stats.Writebacks != 1 {
 		t.Errorf("writebacks = %d, want 1", c.Stats.Writebacks)
@@ -90,7 +90,7 @@ func TestStoreHitMarksDirty(t *testing.T) {
 func TestPrefetchCoverageAccounting(t *testing.T) {
 	c := New(testConfig())
 	pf := mem.Access{PC: 1, Addr: mem.AddrOf(7), Kind: mem.Prefetch}
-	c.Fill(pf, 0, true)
+	c.Fill(pf, 0, SrcL2)
 	if c.Stats.PrefetchFills != 1 {
 		t.Fatalf("PrefetchFills = %d", c.Stats.PrefetchFills)
 	}
@@ -110,12 +110,12 @@ func TestPrefetchCoverageAccounting(t *testing.T) {
 func TestUnusedPrefetchCounted(t *testing.T) {
 	c := New(testConfig())
 	pf := mem.Access{PC: 1, Addr: mem.AddrOf(16), Kind: mem.Prefetch}
-	c.Fill(pf, 0, true)
+	c.Fill(pf, 0, SrcL2)
 	for i := 0; i < 5; i++ {
 		if i == 1 {
 			continue // skip the prefetched line's slot aliasing trick
 		}
-		c.Fill(loadAt(mem.Line(i*16+32)), 0, false)
+		c.Fill(loadAt(mem.Line(i*16+32)), 0, SrcDemand)
 	}
 	// Set 0 holds lines 16(pf),32,64,96,128 -> one eviction occurred.
 	if c.Stats.UnusedPrefetches == 0 {
@@ -126,7 +126,7 @@ func TestUnusedPrefetchCounted(t *testing.T) {
 func TestLatePrefetchWait(t *testing.T) {
 	c := New(testConfig())
 	pf := mem.Access{PC: 1, Addr: mem.AddrOf(9), Kind: mem.Prefetch}
-	c.Fill(pf, 100, true) // fill completes at cycle 100
+	c.Fill(pf, 100, SrcL2) // fill completes at cycle 100
 	r := c.Lookup(40, loadAt(9))
 	if !r.Hit {
 		t.Fatal("missed in-flight line")
@@ -216,9 +216,9 @@ func TestMSHROccupancy(t *testing.T) {
 func TestReserveFlushesData(t *testing.T) {
 	c := New(testConfig())
 	// Fill all 4 ways of set 0, one dirty.
-	c.Fill(mem.Access{PC: 1, Addr: mem.AddrOf(0), Kind: mem.Store}, 0, false)
+	c.Fill(mem.Access{PC: 1, Addr: mem.AddrOf(0), Kind: mem.Store}, 0, SrcDemand)
 	for i := 1; i < 4; i++ {
-		c.Fill(loadAt(mem.Line(i*16)), 0, false)
+		c.Fill(loadAt(mem.Line(i*16)), 0, SrcDemand)
 	}
 	flushed, dirty := c.Reserve(0, 2)
 	if flushed != 2 {
@@ -249,7 +249,7 @@ func TestReserveFlushesData(t *testing.T) {
 func TestFullyReservedSetRefusesFills(t *testing.T) {
 	c := New(testConfig())
 	c.Reserve(0, 4)
-	v := c.Fill(loadAt(0), 0, false)
+	v := c.Fill(loadAt(0), 0, SrcDemand)
 	if v.Valid {
 		t.Error("fill into fully reserved set produced a victim")
 	}
@@ -260,7 +260,7 @@ func TestFullyReservedSetRefusesFills(t *testing.T) {
 
 func TestLookupSkipsReservedWays(t *testing.T) {
 	c := New(testConfig())
-	c.Fill(loadAt(0), 0, false) // lands in way 0 (first free)
+	c.Fill(loadAt(0), 0, SrcDemand) // lands in way 0 (first free)
 	c.Reserve(0, 1)             // way 0 now reserved; line flushed
 	if r := c.Lookup(0, loadAt(0)); r.Hit {
 		t.Error("hit a line in a reserved way")
@@ -279,7 +279,7 @@ func TestMetaCounting(t *testing.T) {
 
 func TestProbeDoesNotTouchState(t *testing.T) {
 	c := New(testConfig())
-	c.Fill(loadAt(1), 0, false)
+	c.Fill(loadAt(1), 0, SrcDemand)
 	before := c.Stats
 	if !c.Probe(1) || c.Probe(2) {
 		t.Error("probe results wrong")
@@ -292,8 +292,8 @@ func TestProbeDoesNotTouchState(t *testing.T) {
 func TestFillRefreshExistingLine(t *testing.T) {
 	c := New(testConfig())
 	a := loadAt(4)
-	c.Fill(a, 0, false)
-	v := c.Fill(a, 0, false) // re-fill same line
+	c.Fill(a, 0, SrcDemand)
+	v := c.Fill(a, 0, SrcDemand) // re-fill same line
 	if v.Valid {
 		t.Error("re-fill produced a victim")
 	}
@@ -334,7 +334,7 @@ func TestSetOfProperty(t *testing.T) {
 
 func TestMarkDirty(t *testing.T) {
 	c := New(testConfig())
-	c.Fill(loadAt(2), 0, false)
+	c.Fill(loadAt(2), 0, SrcDemand)
 	if !c.MarkDirty(2) {
 		t.Error("MarkDirty failed on resident line")
 	}
@@ -342,7 +342,7 @@ func TestMarkDirty(t *testing.T) {
 		t.Error("MarkDirty succeeded on absent line")
 	}
 	for i := 1; i <= 4; i++ {
-		c.Fill(loadAt(mem.Line(2+i*16)), 0, false)
+		c.Fill(loadAt(mem.Line(2+i*16)), 0, SrcDemand)
 	}
 	if c.Stats.Writebacks != 1 {
 		t.Errorf("writebacks = %d, want 1", c.Stats.Writebacks)

@@ -40,14 +40,14 @@ func driveOps(c *Cache, ops []uint16) {
 			c.Lookup(now, acc)
 		case 2:
 			if !c.Lookup(now, acc).Hit {
-				c.Fill(acc, now+50, false)
+				c.Fill(acc, now+50, SrcDemand)
 			}
 		case 3:
-			c.Fill(acc, now+50, true)
+			c.Fill(acc, now+50, SrcL2)
 		case 4:
 			acc.Kind = mem.Store
 			if !c.Lookup(now, acc).Hit {
-				c.Fill(acc, now+50, false)
+				c.Fill(acc, now+50, SrcDemand)
 			}
 		case 5:
 			c.MarkDirty(l)
@@ -104,7 +104,7 @@ func TestPropertyFillThenProbe(t *testing.T) {
 		driveOps(c, ops)
 		l := mem.Line(raw)
 		set := c.SetOf(l)
-		c.Fill(mem.Access{Addr: mem.AddrOf(l), Kind: mem.Load}, 100, false)
+		c.Fill(mem.Access{Addr: mem.AddrOf(l), Kind: mem.Load}, 100, SrcDemand)
 		if c.DataWays(set) == 0 {
 			// Fully reserved set: the fill is dropped by design.
 			return !c.Probe(l)

@@ -6,7 +6,10 @@
 // queueing under multi-core contention.
 package dram
 
-import "streamline/internal/mem"
+import (
+	"streamline/internal/mem"
+	"streamline/internal/telemetry"
+)
 
 // Config describes the memory system, with timings in core cycles (4GHz:
 // one cycle is 0.25ns, so 12.5ns is 50 cycles).
@@ -109,8 +112,15 @@ type DRAM struct {
 	// charged to exactly one channel).
 	chanXfers []uint64
 
+	// tel receives row-conflict events; nil (the default) disables them.
+	tel *telemetry.Emitter
+
 	Stats Stats
 }
+
+// SetTelemetry attaches a telemetry emitter for discrete DRAM events
+// (row-buffer conflicts). A nil emitter (telemetry disabled) is fine.
+func (d *DRAM) SetTelemetry(tel *telemetry.Emitter) { d.tel = tel }
 
 // New constructs a DRAM model from cfg.
 func New(cfg Config) *DRAM {
@@ -182,6 +192,10 @@ func (d *DRAM) Access(now uint64, l mem.Line, write bool) uint64 {
 	default:
 		rowLat = d.cfg.RP + d.cfg.RCD + d.cfg.CAS
 		d.Stats.RowConflicts++
+		if d.tel.Enabled(telemetry.Debug) {
+			d.tel.Eventf(now, telemetry.Debug, "row-conflict",
+				"ch %d bank %d: open row %d closed for %d", ch, bk, b.openRow, row)
+		}
 	}
 	b.openRow = row
 

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -30,6 +32,7 @@ import (
 	"streamline/internal/prefetch/stride"
 	"streamline/internal/prefetch/triangel"
 	"streamline/internal/sim"
+	"streamline/internal/telemetry"
 	"streamline/internal/workloads"
 )
 
@@ -241,6 +244,16 @@ type Runner struct {
 	// runner performs. The checks are read-only — result tables are
 	// byte-identical either way — and AuditSummary reports what they found.
 	Check bool
+	// TelemetryDir, when non-empty, writes each simulation's interval
+	// samples and events as JSONL to <dir>/<memo key>.jsonl. Every
+	// simulation gets its own file and runs at most once (single-flighted
+	// by memo key), so the output is parallel-safe and its content
+	// deterministic for any Jobs value. Instrumentation is read-only —
+	// result tables are byte-identical either way.
+	TelemetryDir string
+	// SampleInterval is the measured instructions between telemetry samples
+	// per core; zero means a tenth of the scale's measured window.
+	SampleInterval uint64
 
 	logMu   sync.Mutex
 	mu      sync.Mutex
@@ -249,6 +262,9 @@ type Runner struct {
 
 	audMu    sync.Mutex
 	auditors []*audit.Auditor
+
+	telMu  sync.Mutex
+	telErr error
 }
 
 // memoEntry single-flights one simulation result.
@@ -319,6 +335,7 @@ func (r *Runner) computeMix(arm Arm, mix []string, cores int, bwFactor float64) 
 	}
 	arm.Apply(&cfg, r.Scale)
 	r.attachAudit(&cfg, simKey(arm, mix, cores, bwFactor))
+	finish := r.attachTelemetry(&cfg, simKey(arm, mix, cores, bwFactor))
 	sys := sim.New(cfg)
 	for c := 0; c < cores; c++ {
 		w, err := workloads.Get(mix[c%len(mix)])
@@ -329,7 +346,9 @@ func (r *Runner) computeMix(arm Arm, mix []string, cores int, bwFactor float64) 
 			r.Scale.Seed+int64(c)))
 	}
 	r.logf("  [%s] %s x%d\n", arm.Name, strings.Join(mix, ","), cores)
-	return sys.Run()
+	res := sys.Run()
+	finish()
+	return res
 }
 
 // attachAudit arms cfg with a fresh auditor when Check is set, labeling it
@@ -345,6 +364,67 @@ func (r *Runner) attachAudit(cfg *sim.Config, key string) {
 	r.audMu.Lock()
 	r.auditors = append(r.auditors, a)
 	r.audMu.Unlock()
+}
+
+// attachTelemetry arms cfg with a collector writing to this simulation's own
+// file under TelemetryDir, returning a finish function the caller must invoke
+// after the run (writes the closing summary record and closes the file). When
+// telemetry is off, both are no-ops. File I/O errors are retained for
+// TelemetryErr rather than failing the simulation.
+func (r *Runner) attachTelemetry(cfg *sim.Config, key string) func() {
+	if r.TelemetryDir == "" {
+		return func() {}
+	}
+	f, err := os.Create(filepath.Join(r.TelemetryDir, telemetryFileName(key)))
+	if err != nil {
+		r.telemetryFail(err)
+		return func() {}
+	}
+	interval := r.SampleInterval
+	if interval == 0 {
+		interval = r.Scale.Measure / 10
+	}
+	col := telemetry.New(telemetry.NewSink(f), interval)
+	cfg.Telemetry = col
+	return func() {
+		if err := col.Close(); err != nil {
+			r.telemetryFail(err)
+		}
+		if err := f.Close(); err != nil {
+			r.telemetryFail(err)
+		}
+	}
+}
+
+// telemetryFileName maps a memo key to a stable filename: every character
+// outside [A-Za-z0-9._+-] becomes '_', and distinct simulations have distinct
+// keys, so a sweep's file set is deterministic across runs and Jobs values.
+func telemetryFileName(key string) string {
+	s := []byte(key)
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '+', c == '-':
+		default:
+			s[i] = '_'
+		}
+	}
+	return string(s) + ".jsonl"
+}
+
+func (r *Runner) telemetryFail(err error) {
+	r.telMu.Lock()
+	if r.telErr == nil {
+		r.telErr = err
+	}
+	r.telMu.Unlock()
+}
+
+// TelemetryErr returns the first telemetry I/O error encountered, or nil.
+func (r *Runner) TelemetryErr() error {
+	r.telMu.Lock()
+	defer r.telMu.Unlock()
+	return r.telErr
 }
 
 // AuditSummary writes the findings of every audited simulation to w (full

@@ -274,6 +274,7 @@ func (r *Runner) runWithSystemOffchip(workload string) (sim.Result, *sim.System)
 			return stms.New(stms.DefaultConfig(), d)
 		}
 		r.attachAudit(&cfg, "stms|"+workload+"|sys")
+		finish := r.attachTelemetry(&cfg, "stms|"+workload+"|sys")
 		sys := sim.New(cfg)
 		w, err := workloads.Get(workload)
 		if err != nil {
@@ -281,7 +282,9 @@ func (r *Runner) runWithSystemOffchip(workload string) (sim.Result, *sim.System)
 		}
 		sys.SetTrace(0, w.NewTrace(workloads.Scale{Footprint: r.Scale.Footprint}, r.Scale.Seed))
 		r.logf("  [stms] %s\n", workload)
-		return sys.Run(), sys
+		res := sys.Run()
+		finish()
+		return res, sys
 	})
 }
 

@@ -23,6 +23,7 @@ func (r *Runner) runWithSystem(arm Arm, workload string) (sim.Result, *sim.Syste
 		cfg := r.Scale.baseConfig(1)
 		arm.Apply(&cfg, r.Scale)
 		r.attachAudit(&cfg, arm.Name+"|"+workload+"|sys")
+		finish := r.attachTelemetry(&cfg, arm.Name+"|"+workload+"|sys")
 		sys := sim.New(cfg)
 		w, err := workloads.Get(workload)
 		if err != nil {
@@ -30,7 +31,9 @@ func (r *Runner) runWithSystem(arm Arm, workload string) (sim.Result, *sim.Syste
 		}
 		sys.SetTrace(0, w.NewTrace(workloads.Scale{Footprint: r.Scale.Footprint}, r.Scale.Seed))
 		r.logf("  [%s] %s (with system)\n", arm.Name, workload)
-		return sys.Run(), sys
+		res := sys.Run()
+		finish()
+		return res, sys
 	})
 }
 

@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// telemetryScale shrinks the measured window like the golden tests so a
+// telemetry sweep stays fast.
+func telemetryScale() Scale {
+	sc := Small
+	sc.Warmup = 40_000
+	sc.Measure = 120_000
+	return sc
+}
+
+// runTelemetrySweep precomputes a small sweep with per-simulation telemetry
+// files under dir, on a 4-worker pool.
+func runTelemetrySweep(t *testing.T, dir string) {
+	t.Helper()
+	r := NewRunner(telemetryScale())
+	r.Jobs = 4
+	r.TelemetryDir = dir
+	r.SampleInterval = 30_000
+	arms := []Arm{
+		baseArm("stride", ""),
+		streamlineArm("streamline", "stride", "", nil),
+	}
+	r.Precompute(SingleNames(arms, []string{"sphinx06", "mcf06", "pr"}))
+	if err := r.TelemetryErr(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func listFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TestTelemetryDirParallelDeterministic runs the same sweep twice on a
+// 4-worker pool and requires identical file sets with identical bytes: the
+// per-simulation files must not depend on scheduling.
+func TestTelemetryDirParallelDeterministic(t *testing.T) {
+	d1, d2 := t.TempDir(), t.TempDir()
+	runTelemetrySweep(t, d1)
+	runTelemetrySweep(t, d2)
+
+	f1, f2 := listFiles(t, d1), listFiles(t, d2)
+	if len(f1) != 6 {
+		t.Fatalf("sweep wrote %d telemetry files, want 6 (2 arms x 3 workloads): %v", len(f1), f1)
+	}
+	if len(f1) != len(f2) {
+		t.Fatalf("file sets differ: %v vs %v", f1, f2)
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("file sets differ: %v vs %v", f1, f2)
+		}
+		b1, err := os.ReadFile(filepath.Join(d1, f1[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := os.ReadFile(filepath.Join(d2, f2[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b1) != string(b2) {
+			t.Errorf("%s: contents differ between runs (%d vs %d bytes)", f1[i], len(b1), len(b2))
+		}
+		if len(b1) == 0 {
+			t.Errorf("%s: empty telemetry file", f1[i])
+		}
+	}
+}
+
+// TestTelemetryDirFilenames pins the memo-key sanitization so file names stay
+// stable for downstream tooling.
+func TestTelemetryDirFilenames(t *testing.T) {
+	got := telemetryFileName("base+stride|sphinx06,mcf06|2|0.000")
+	want := "base+stride_sphinx06_mcf06_2_0.000.jsonl"
+	if got != want {
+		t.Errorf("telemetryFileName = %q, want %q", got, want)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"streamline/internal/mem"
+	"streamline/internal/telemetry"
 )
 
 // EntryAccess is the context handed to entry policies on every store
@@ -95,8 +96,18 @@ type Store struct {
 	slots [][]slot // [logical set][way*epb+idx]
 	pol   EntryPolicy
 
+	// tel receives resize events; nil (the default) disables them. lastNow
+	// tracks the most recent Lookup/Insert cycle so Resize — which has no
+	// cycle argument of its own — can timestamp its event.
+	tel     *telemetry.Emitter
+	lastNow uint64
+
 	Stats Stats
 }
+
+// SetTelemetry attaches a telemetry emitter for discrete store events
+// (partition resizes). A nil emitter (telemetry disabled) is fine.
+func (s *Store) SetTelemetry(tel *telemetry.Emitter) { s.tel = tel }
 
 // NewStore builds a store at its maximum partition size.
 func NewStore(cfg StoreConfig, bridge Bridge) *Store {
@@ -343,6 +354,7 @@ func (s *Store) WouldFilter(t mem.Line) bool {
 // the lookup latency.
 func (s *Store) Lookup(now uint64, pc mem.PC, t mem.Line) (Entry, bool, uint64) {
 	s.Stats.Lookups++
+	s.lastNow = now
 	set, live := s.currentSet(t)
 	if !live {
 		s.Stats.FilteredLookups++
@@ -376,6 +388,7 @@ func (s *Store) Insert(now uint64, pc mem.PC, e Entry) (uint64, bool) {
 	if !e.Valid() {
 		return 0, false
 	}
+	s.lastNow = now
 	set, live := s.currentSet(e.Trigger)
 	if !live {
 		s.Stats.FilteredInserts++
@@ -466,7 +479,13 @@ func (s *Store) storeInto(set, idx int, e Entry, pc mem.PC) {
 // of shuffle traffic generated (already recorded in Stats).
 func (s *Store) Resize(newBytes int) uint64 {
 	s.Stats.Resizes++
-	return s.applySize(newBytes, false)
+	old := s.curBytes
+	moved := s.applySize(newBytes, false)
+	if s.tel.Enabled(telemetry.Info) {
+		s.tel.Eventf(s.lastNow, telemetry.Info, "resize",
+			"partition %dB -> %dB (%d blocks moved)", old, s.curBytes, moved)
+	}
+	return moved
 }
 
 // applySize computes the new geometry and migrates contents. initial

@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"io"
+	"testing"
+
+	"streamline/internal/telemetry"
+	"streamline/internal/workloads"
+)
+
+// benchmarkRun measures a full simulation; newCollector nil benchmarks the
+// disabled path (the overhead telemetry must not add), non-nil the
+// instrumented one.
+func benchmarkRun(b *testing.B, newCollector func() *telemetry.Collector) {
+	w, err := workloads.Get("sphinx06")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := smallConfig(1)
+		cfg.WarmupInstructions = 50_000
+		cfg.MeasureInstructions = 200_000
+		cfg.L1DPrefetcher = strideFactory
+		cfg.Temporal = streamlineFactory
+		var col *telemetry.Collector
+		if newCollector != nil {
+			col = newCollector()
+			cfg.Telemetry = col
+		}
+		sys := New(cfg)
+		sys.RunTrace(w.NewTrace(workloads.Scale{Footprint: 0.1}, 1))
+		if col != nil {
+			if err := col.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkRunTelemetryOff(b *testing.B) {
+	benchmarkRun(b, nil)
+}
+
+func BenchmarkRunTelemetryOn(b *testing.B) {
+	benchmarkRun(b, func() *telemetry.Collector {
+		return telemetry.New(telemetry.NewSink(io.Discard), 50_000)
+	})
+}

@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"streamline/internal/cache"
 	"streamline/internal/mem"
 	"streamline/internal/prefetch"
+	"streamline/internal/telemetry"
 	"streamline/internal/trace"
 )
 
@@ -112,21 +114,21 @@ func (s *System) demandAccess(cs *coreState, t uint64, acc mem.Access) uint64 {
 // victim's writeback is issued at the fill's request time, not completion:
 // the eviction happens when the miss allocates.
 func (s *System) fillL1(cs *coreState, acc mem.Access, ready uint64) {
-	v := cs.l1d.Fill(acc, ready, false)
+	v := cs.l1d.Fill(acc, ready, cache.SrcDemand)
 	if v.Valid && v.Dirty {
 		s.writeback(cs, ready-s.cfg.L1D.Latency, v.Line, 2)
 	}
 }
 
 func (s *System) fillL2(cs *coreState, acc mem.Access, ready uint64) {
-	v := cs.l2.Fill(acc, ready, false)
+	v := cs.l2.Fill(acc, ready, cache.SrcDemand)
 	if v.Valid && v.Dirty {
 		s.writeback(cs, ready-s.cfg.L2.Latency, v.Line, 3)
 	}
 }
 
 func (s *System) fillLLC(cs *coreState, acc mem.Access, now, ready uint64) {
-	v := s.llc.Fill(acc, ready, false)
+	v := s.llc.Fill(acc, ready, cache.SrcDemand)
 	if v.Valid && v.Dirty {
 		s.dram.Write(now, v.Line)
 	}
@@ -157,7 +159,7 @@ func (s *System) trainL1(cs *coreState, now uint64, acc mem.Access, hit bool) {
 	}
 	cs.reqBuf = cs.l1pf.Train(ev, cs.reqBuf[:0])
 	for _, req := range cs.reqBuf {
-		s.issuePrefetch(cs, now+req.Delay, req, 1)
+		s.issuePrefetch(cs, now+req.Delay, req, cache.SrcL1)
 	}
 }
 
@@ -170,44 +172,53 @@ func (s *System) trainL2(cs *coreState, now uint64, acc mem.Access, hit, prefetc
 	}
 	cs.reqBuf = cs.l2pf.Train(ev, cs.reqBuf[:0])
 	for _, req := range cs.reqBuf {
-		s.issuePrefetch(cs, now+req.Delay, req, 2)
+		s.issuePrefetch(cs, now+req.Delay, req, cache.SrcL2)
 	}
 	if !hit || prefetchHit {
 		cs.reqBuf = cs.tempf.Train(ev, cs.reqBuf[:0])
 		for _, req := range cs.reqBuf {
-			s.issuePrefetch(cs, now+req.Delay, req, 2)
+			s.issuePrefetch(cs, now+req.Delay, req, cache.SrcTemporal)
 		}
-		s.feedAccuracy(cs)
+		s.feedAccuracy(cs, now)
 	}
 }
 
-// issuePrefetch resolves a prefetch request into fills. level 1 fills
-// L1D+L2; level 2 fills only the L2.
-func (s *System) issuePrefetch(cs *coreState, now uint64, req prefetch.Request, level int) {
+// issuePrefetch resolves a prefetch request into fills, attributing the
+// line's lifecycle to the issuing prefetcher src: L1 requests fill the L1D
+// (bypassing the L2); L2 and temporal requests fill only the L2. Requests
+// whose line is already resident at the destination are dropped as
+// duplicates (per-source accounting, no traffic).
+func (s *System) issuePrefetch(cs *coreState, now uint64, req prefetch.Request, src cache.Source) {
 	if a := s.cfg.Audit; a != nil && mem.Offset(req.Addr) != 0 {
 		a.Reportf(now, "sim", "unaligned-prefetch",
 			"core %d issued prefetch for %#x (offset %d within the line)",
 			cs.id, uint64(req.Addr), mem.Offset(req.Addr))
 	}
+	toL1 := src == cache.SrcL1
 	acc := mem.Access{PC: 0, Addr: req.Addr, Kind: mem.Prefetch, Core: cs.id}
 	if cs.l2.Probe(acc.Line()) {
-		if level == 1 && !cs.l1d.Probe(acc.Line()) {
+		if toL1 && !cs.l1d.Probe(acc.Line()) {
 			// Promote from L2 to L1 (the L2 lookup updates its
 			// replacement and prefetch-hit state).
 			cs.l2.Lookup(now, acc)
 			done := now + s.cfg.L2.Latency
-			v := cs.l1d.Fill(acc, done, true)
+			v := cs.l1d.Fill(acc, done, src)
 			if v.Valid && v.Dirty {
 				s.writeback(cs, now, v.Line, 2)
 			}
 			cs.issued++
+			cs.issuedBy[src]++
+			return
 		}
+		cs.droppedBy[src]++
 		return
 	}
-	if level == 1 && cs.l1d.Probe(acc.Line()) {
+	if toL1 && cs.l1d.Probe(acc.Line()) {
+		cs.droppedBy[src]++
 		return
 	}
 	cs.issued++
+	cs.issuedBy[src]++
 
 	// Walk the lower hierarchy to find the data. Prefetch misses occupy
 	// L2 MSHRs like demand misses do, but yield the ports to demands.
@@ -224,31 +235,32 @@ func (s *System) issuePrefetch(cs *coreState, now uint64, req prefetch.Request, 
 		now += s.cfg.LLC.Latency
 		dlat := s.dram.Access(now, acc.Line(), false)
 		done = now + dlat
-		v := s.llc.Fill(acc, done, true)
+		v := s.llc.Fill(acc, done, src)
 		if v.Valid && v.Dirty {
 			s.dram.Write(now, v.Line)
 		}
 	}
 	cs.l2.MSHRComplete(l2slot, done)
-	if level == 1 {
+	if toL1 {
 		// L1 prefetches bypass the L2: filling it would pollute the L2's
 		// prefetch-accuracy accounting (demands are absorbed by the L1
 		// copy) and its capacity.
-		v := cs.l1d.Fill(acc, done, true)
+		v := cs.l1d.Fill(acc, done, src)
 		if v.Valid && v.Dirty {
 			s.writeback(cs, now, v.Line, 2)
 		}
 		return
 	}
-	v := cs.l2.Fill(acc, done, true)
+	v := cs.l2.Fill(acc, done, src)
 	if v.Valid && v.Dirty {
 		s.writeback(cs, now, v.Line, 3)
 	}
 }
 
 // feedAccuracy delivers epoch prefetch accuracy to prefetchers that consume
-// it (Streamline's utility-aware partitioner).
-func (s *System) feedAccuracy(cs *coreState) {
+// it (Streamline's utility-aware partitioner). now is the training cycle,
+// used only to timestamp the telemetry event.
+func (s *System) feedAccuracy(cs *coreState, now uint64) {
 	ac, ok := cs.tempf.(prefetch.AccuracyConsumer)
 	if !ok {
 		return
@@ -262,11 +274,12 @@ func (s *System) feedAccuracy(cs *coreState) {
 	du := useful - cs.lastUseful
 	cs.lastFills, cs.lastUseful = fills, useful
 	if df > 0 {
-		acc := float64(du) / float64(df)
-		if acc > 1 {
-			acc = 1
-		}
+		acc := cache.Accuracy(du, df)
 		ac.ObserveAccuracy(acc)
+		if cs.tel.Enabled(telemetry.Info) {
+			cs.tel.Eventf(now, telemetry.Info, "accuracy-epoch",
+				"delivered epoch accuracy %.4f (%d useful / %d fills)", acc, du, df)
+		}
 	}
 }
 
@@ -293,18 +306,27 @@ func (s *System) Run() Result {
 		if !next.measured && next.core.Instructions() >= warm {
 			next.warmBase = s.snapshotCore(next)
 			next.measured = true
+			if n := s.cfg.Telemetry.SampleInterval(); n > 0 {
+				next.lastSample = next.warmBase
+				next.nextSample = next.core.Instructions() + n
+			}
 		}
 		if next.core.Instructions() >= total {
+			s.telemetryFinish(next)
 			next.final = s.snapshotCore(next)
 			next.done = true
 			continue
 		}
 		if !s.step(next) {
+			s.telemetryFinish(next)
 			next.final = s.snapshotCore(next)
 			next.done = true
 		}
 		if s.cfg.Audit != nil {
 			s.auditTick(next)
+		}
+		if s.cfg.Telemetry != nil {
+			s.telemetryTick(next)
 		}
 	}
 	if s.cfg.Audit != nil {

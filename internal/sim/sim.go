@@ -15,6 +15,7 @@ import (
 	"streamline/internal/mem"
 	"streamline/internal/meta"
 	"streamline/internal/prefetch"
+	"streamline/internal/telemetry"
 	"streamline/internal/trace"
 )
 
@@ -67,6 +68,16 @@ type Config struct {
 	// invariant scans when Audit is set; zero means the default (4096).
 	// A final scan always runs when the simulation completes.
 	AuditInterval uint64
+
+	// Telemetry, when non-nil, enables the observability layer: an interval
+	// sampler that emits one JSONL record per core every
+	// Telemetry.SampleInterval() measured instructions, and a structured
+	// event trace fed by the hierarchy (MSHR-full stalls, DRAM row
+	// conflicts, metadata resizes, accuracy epochs, audit violations).
+	// Instrumentation is read-only, so an instrumented run produces a
+	// byte-identical Result; nil (the default) reduces every hook to a
+	// branch.
+	Telemetry *telemetry.Collector
 }
 
 // DefaultConfig returns the Table II system for the given core count.
@@ -110,10 +121,25 @@ type coreState struct {
 	lastFills, lastUseful uint64
 
 	issued uint64 // prefetches issued by all of this core's prefetchers
+	// issuedBy/droppedBy attribute issue and duplicate-drop counts to the
+	// issuing prefetcher (lifecycle attribution). Kept on unconditionally —
+	// plain increments on paths that already update several statistics.
+	issuedBy  [cache.NumSources]uint64
+	droppedBy [cache.NumSources]uint64
 
 	warmBase snapshot
 	measured bool
 	final    snapshot
+
+	// tel carries this core's "sim"-component telemetry events (accuracy
+	// epochs); nil when telemetry is off.
+	tel *telemetry.Emitter
+	// interval-sampler state: the next cumulative instruction count to
+	// sample at, the previous sample's snapshot, and the sample sequence
+	// number.
+	nextSample uint64
+	lastSample snapshot
+	sampleSeq  int
 }
 
 // System is a constructed simulator instance.
@@ -178,6 +204,16 @@ func New(cfg Config) *System {
 		llc:  cache.New(llcCfg),
 		dram: dram.New(cfg.DRAM),
 	}
+	col := cfg.Telemetry
+	s.llc.SetTelemetry(col.Emitter("LLC", -1))
+	s.dram.SetTelemetry(col.Emitter("dram", -1))
+	if col != nil && cfg.Audit != nil && cfg.Audit.OnViolation == nil {
+		// Mirror invariant violations into the event trace so a telemetry
+		// file is self-contained evidence of a broken run.
+		cfg.Audit.OnViolation = func(v audit.Violation) {
+			col.Eventf(v.Cycle, -1, v.Component, "audit-"+v.Rule, telemetry.Warn, "%s", v.Detail)
+		}
+	}
 	for c := 0; c < cfg.Cores; c++ {
 		cs := &coreState{
 			id:     c,
@@ -192,6 +228,9 @@ func New(cfg Config) *System {
 		if cfg.Audit != nil {
 			cs.core.SetAuditor(cfg.Audit)
 		}
+		cs.tel = col.Emitter("sim", c)
+		cs.l1d.SetTelemetry(col.Emitter("L1D", c))
+		cs.l2.SetTelemetry(col.Emitter("L2", c))
 		if cfg.L1DPrefetcher != nil {
 			cs.l1pf = cfg.L1DPrefetcher()
 		}
@@ -208,6 +247,11 @@ func New(cfg Config) *System {
 			cs.tempf = cfg.Temporal(b)
 		} else if cfg.TemporalDRAM != nil {
 			cs.tempf = cfg.TemporalDRAM(s.dram)
+		}
+		if sp, ok := cs.tempf.(storeProvider); ok {
+			if st := sp.Store(); st != nil {
+				st.SetTelemetry(col.Emitter("meta", c))
+			}
 		}
 		s.cores = append(s.cores, cs)
 	}

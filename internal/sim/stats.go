@@ -8,29 +8,65 @@ import (
 )
 
 // snapshot captures the counters that measured-phase deltas are computed
-// from.
+// from. The shared LLC/DRAM stats ride along for the telemetry sampler's
+// interval records; whole-run Result fields still come from the live
+// structures.
 type snapshot struct {
-	instr  uint64
-	cycles uint64
-	l1d    cache.Stats
-	l2     cache.Stats
-	issued uint64
-	meta   meta.Stats
+	instr     uint64
+	cycles    uint64
+	l1d       cache.Stats
+	l2        cache.Stats
+	issued    uint64
+	issuedBy  [cache.NumSources]uint64
+	droppedBy [cache.NumSources]uint64
+	meta      meta.Stats
+	llc       cache.Stats
+	dram      dram.Stats
 }
 
 func (s *System) snapshotCore(cs *coreState) snapshot {
 	sn := snapshot{
-		instr:  cs.core.Instructions(),
-		cycles: cs.core.Finish(),
-		l1d:    cs.l1d.Stats,
-		l2:     cs.l2.Stats,
-		issued: cs.issued,
+		instr:     cs.core.Instructions(),
+		cycles:    cs.core.Finish(),
+		l1d:       cs.l1d.Stats,
+		l2:        cs.l2.Stats,
+		issued:    cs.issued,
+		issuedBy:  cs.issuedBy,
+		droppedBy: cs.droppedBy,
+		llc:       s.llc.Stats,
+		dram:      s.dram.Stats,
 	}
 	if mr, ok := cs.tempf.(prefetch.MetaReporter); ok {
 		sn.meta = mr.MetaStats()
 	}
 	return sn
 }
+
+// PrefetcherResult is one prefetch engine's measured-phase lifecycle
+// attribution, merged across the core's private levels (an L1 engine's
+// fills land in the L1D, L2/temporal engines' in the L2).
+type PrefetcherResult struct {
+	// Source names the engine: "l1", "l2" or "temporal".
+	Source string
+	// Issued counts requests that reached the hierarchy; DroppedDuplicate
+	// counts requests discarded because the line was already resident at
+	// the destination.
+	Issued           uint64
+	DroppedDuplicate uint64
+	Fills            uint64
+	UsefulTimely     uint64
+	UsefulLate       uint64
+	EvictedUnused    uint64
+}
+
+// Useful returns total useful prefetches (timely plus late).
+func (p PrefetcherResult) Useful() uint64 { return p.UsefulTimely + p.UsefulLate }
+
+// Accuracy returns this engine's useful prefetches over its fills.
+func (p PrefetcherResult) Accuracy() float64 { return cache.Accuracy(p.Useful(), p.Fills) }
+
+// Pollution returns the fraction of this engine's fills evicted unused.
+func (p PrefetcherResult) Pollution() float64 { return cache.Accuracy(p.EvictedUnused, p.Fills) }
 
 // CoreResult is one core's measured-phase statistics.
 type CoreResult struct {
@@ -43,25 +79,33 @@ type CoreResult struct {
 
 	PrefetchesIssued uint64
 
+	// Prefetchers is the per-engine lifecycle attribution (l1, l2,
+	// temporal — present even when an engine is unconfigured, with zero
+	// counts).
+	Prefetchers []PrefetcherResult
+
 	// Meta is the temporal prefetcher's metadata activity (zero when no
 	// temporal prefetcher is configured).
 	Meta meta.Stats
 }
 
+// L1DMPKI returns L1D demand misses per kilo-instruction.
+func (r CoreResult) L1DMPKI() float64 { return mpki(r.L1D.DemandMisses, r.Instructions) }
+
 // L2MPKI returns L2 demand misses per kilo-instruction.
-func (r CoreResult) L2MPKI() float64 {
-	if r.Instructions == 0 {
+func (r CoreResult) L2MPKI() float64 { return mpki(r.L2.DemandMisses, r.Instructions) }
+
+func mpki(misses, instructions uint64) float64 {
+	if instructions == 0 {
 		return 0
 	}
-	return float64(r.L2.DemandMisses) / float64(r.Instructions) * 1000
+	return float64(misses) / float64(instructions) * 1000
 }
 
-// PrefetchAccuracy returns useful prefetches over prefetch fills at the L2.
+// PrefetchAccuracy returns useful prefetches over prefetch fills at the L2
+// (cache.Accuracy is the shared definition).
 func (r CoreResult) PrefetchAccuracy() float64 {
-	if r.L2.PrefetchFills == 0 {
-		return 0
-	}
-	return float64(r.L2.UsefulPrefetches) / float64(r.L2.PrefetchFills)
+	return r.L2.PrefetchAccuracy()
 }
 
 // Result is a full measured-phase report.
@@ -90,7 +134,7 @@ func (r Result) TotalMetaTraffic() uint64 {
 }
 
 func subStats(a, b cache.Stats) cache.Stats {
-	return cache.Stats{
+	d := cache.Stats{
 		DemandAccesses:   a.DemandAccesses - b.DemandAccesses,
 		DemandHits:       a.DemandHits - b.DemandHits,
 		DemandMisses:     a.DemandMisses - b.DemandMisses,
@@ -107,6 +151,19 @@ func subStats(a, b cache.Stats) cache.Stats {
 		PortStallCycles:  a.PortStallCycles - b.PortStallCycles,
 		MSHRStallCycles:  a.MSHRStallCycles - b.MSHRStallCycles,
 		ExtraWaitCycles:  a.ExtraWaitCycles - b.ExtraWaitCycles,
+	}
+	for i := range d.Sources {
+		d.Sources[i] = subSource(a.Sources[i], b.Sources[i])
+	}
+	return d
+}
+
+func subSource(a, b cache.SourceStats) cache.SourceStats {
+	return cache.SourceStats{
+		Fills:         a.Fills - b.Fills,
+		UsefulTimely:  a.UsefulTimely - b.UsefulTimely,
+		UsefulLate:    a.UsefulLate - b.UsefulLate,
+		EvictedUnused: a.EvictedUnused - b.EvictedUnused,
 	}
 }
 
@@ -129,6 +186,42 @@ func subMeta(a, b meta.Stats) meta.Stats {
 	}
 }
 
+func subDRAM(a, b dram.Stats) dram.Stats {
+	return dram.Stats{
+		Reads:        a.Reads - b.Reads,
+		Writes:       a.Writes - b.Writes,
+		RowHits:      a.RowHits - b.RowHits,
+		RowMisses:    a.RowMisses - b.RowMisses,
+		RowConflicts: a.RowConflicts - b.RowConflicts,
+		QueueCycles:  a.QueueCycles - b.QueueCycles,
+	}
+}
+
+// prefetcherDeltas builds the per-engine attribution between two snapshots,
+// merging each source's private-level cache stats (L1 engine: L1D; L2 and
+// temporal engines: L2) with the sim-side issue/drop counters. Shared by
+// collect and the telemetry sampler so final results and interval records
+// cannot drift in how attribution is defined.
+func prefetcherDeltas(base, fin snapshot) []PrefetcherResult {
+	l1d := subStats(fin.l1d, base.l1d)
+	l2 := subStats(fin.l2, base.l2)
+	out := make([]PrefetcherResult, 0, cache.NumSources-1)
+	for src := cache.SrcL1; int(src) < cache.NumSources; src++ {
+		ss := l1d.Sources[src]
+		o := l2.Sources[src]
+		out = append(out, PrefetcherResult{
+			Source:           src.String(),
+			Issued:           fin.issuedBy[src] - base.issuedBy[src],
+			DroppedDuplicate: fin.droppedBy[src] - base.droppedBy[src],
+			Fills:            ss.Fills + o.Fills,
+			UsefulTimely:     ss.UsefulTimely + o.UsefulTimely,
+			UsefulLate:       ss.UsefulLate + o.UsefulLate,
+			EvictedUnused:    ss.EvictedUnused + o.EvictedUnused,
+		})
+	}
+	return out
+}
+
 // collect assembles the measured-phase result after Run completes.
 func (s *System) collect() Result {
 	res := Result{LLC: s.llc.Stats, DRAM: s.dram.Stats}
@@ -140,6 +233,7 @@ func (s *System) collect() Result {
 			L1D:              subStats(fin.l1d, base.l1d),
 			L2:               subStats(fin.l2, base.l2),
 			PrefetchesIssued: fin.issued - base.issued,
+			Prefetchers:      prefetcherDeltas(base, fin),
 			Meta:             subMeta(fin.meta, base.meta),
 		}
 		if cr.Cycles > 0 {

@@ -1,0 +1,132 @@
+package sim
+
+// This file is the interval sampler of the telemetry subsystem: every
+// Telemetry.SampleInterval() measured instructions per core it turns the
+// counters the simulator already maintains into one telemetry.IntervalRecord
+// — IPC, MPKI, prefetch accuracy/coverage/lateness, the LLC occupancy split,
+// DRAM bandwidth and row locality, metadata activity, and the per-engine
+// lifecycle attribution. Sampling is read-only (snapshotCore plus an LLC
+// occupancy scan), so instrumented runs produce byte-identical Results.
+
+import (
+	"streamline/internal/cache"
+	"streamline/internal/mem"
+	"streamline/internal/telemetry"
+)
+
+// telemetryTick emits interval records for every sample boundary cs crossed
+// with its last step. Run calls it after each trace record when telemetry is
+// enabled.
+func (s *System) telemetryTick(cs *coreState) {
+	n := s.cfg.Telemetry.SampleInterval()
+	if n == 0 || !cs.measured || cs.done {
+		return
+	}
+	if cs.core.Instructions() < cs.nextSample {
+		return
+	}
+	s.emitInterval(cs)
+	// A single trace record can advance several instructions; one record
+	// covers every boundary it crossed.
+	for cs.nextSample <= cs.core.Instructions() {
+		cs.nextSample += n
+	}
+}
+
+// telemetryFinish flushes the final partial interval when a core completes.
+func (s *System) telemetryFinish(cs *coreState) {
+	if s.cfg.Telemetry.SampleInterval() == 0 || !cs.measured {
+		return
+	}
+	if cs.core.Instructions() > cs.lastSample.instr {
+		s.emitInterval(cs)
+	}
+}
+
+// emitInterval records one sample for cs: deltas against the core's
+// previous sample, cumulative counters against its warmup base.
+func (s *System) emitInterval(cs *coreState) {
+	cur := s.snapshotCore(cs)
+	prev := cs.lastSample
+
+	dInstr := cur.instr - prev.instr
+	dCycles := cur.cycles - prev.cycles
+	l1d := subStats(cur.l1d, prev.l1d)
+	l2 := subStats(cur.l2, prev.l2)
+	llc := subStats(cur.llc, prev.llc)
+	dr := subDRAM(cur.dram, prev.dram)
+	mt := subMeta(cur.meta, prev.meta)
+
+	rec := telemetry.IntervalRecord{
+		Core:         cs.id,
+		Seq:          cs.sampleSeq,
+		Instructions: cur.instr - cs.warmBase.instr,
+		Cycles:       cur.cycles - cs.warmBase.cycles,
+		L1DMPKI:      mpki(l1d.DemandMisses, dInstr),
+		L2MPKI:       mpki(l2.DemandMisses, dInstr),
+		PFAccuracy:   cache.Accuracy(l2.UsefulPrefetches, l2.PrefetchFills),
+		PFCoverage:   cache.Accuracy(l2.UsefulPrefetches, l2.UsefulPrefetches+l2.DemandMisses),
+		PFLateRate:   cache.Accuracy(l2.LatePrefetches, l2.UsefulPrefetches),
+	}
+	if dCycles > 0 {
+		rec.IPC = float64(dInstr) / float64(dCycles)
+		rec.DRAM.BytesPerCycle = float64((dr.Reads+dr.Writes)*mem.LineSize) / float64(dCycles)
+	}
+
+	demand, prefetched, reserved := s.llc.OccupancyBreakdown()
+	rec.LLC = telemetry.LLCSample{
+		DemandLines:   demand,
+		PrefetchLines: prefetched,
+		MetaBlocks:    reserved,
+		DemandHitRate: llc.DemandHitRate(),
+	}
+
+	rec.DRAM.Reads = dr.Reads
+	rec.DRAM.Writes = dr.Writes
+	rec.DRAM.RowHitRate = dr.RowHitRate()
+
+	rec.Meta = telemetry.MetaSample{
+		Traffic:        mt.Traffic(),
+		Lookups:        mt.Lookups,
+		TriggerHitRate: mt.TriggerHitRate(),
+		Resizes:        mt.Resizes,
+	}
+	if sp, ok := cs.tempf.(storeProvider); ok {
+		if st := sp.Store(); st != nil {
+			rec.Meta.OccupancyEntries = st.Occupancy()
+			rec.Meta.SizeBytes = st.SizeBytes()
+		}
+	}
+
+	for _, p := range prefetcherDeltas(prev, cur) {
+		rec.Prefetchers = append(rec.Prefetchers, telemetry.PrefetcherSample{
+			Source:           p.Source,
+			Issued:           p.Issued,
+			DroppedDuplicate: p.DroppedDuplicate,
+			Fills:            p.Fills,
+			UsefulTimely:     p.UsefulTimely,
+			UsefulLate:       p.UsefulLate,
+			EvictedUnused:    p.EvictedUnused,
+			Accuracy:         p.Accuracy(),
+		})
+	}
+
+	cum := subStats(cur.l2, cs.warmBase.l2)
+	cumL1 := subStats(cur.l1d, cs.warmBase.l1d)
+	cumDRAM := subDRAM(cur.dram, cs.warmBase.dram)
+	cumMeta := subMeta(cur.meta, cs.warmBase.meta)
+	rec.Cum = telemetry.CumSample{
+		L1DMisses:        cumL1.DemandMisses,
+		L2Misses:         cum.DemandMisses,
+		PrefetchesIssued: cur.issued - cs.warmBase.issued,
+		PrefetchFills:    cum.PrefetchFills,
+		UsefulPrefetches: cum.UsefulPrefetches,
+		DRAMReads:        cumDRAM.Reads,
+		DRAMWrites:       cumDRAM.Writes,
+		MetaTraffic:      cumMeta.Traffic(),
+	}
+
+	s.cfg.Telemetry.RecordInterval(rec)
+	cs.lastSample = cur
+	cs.sampleSeq++
+}

@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"streamline/internal/telemetry"
+)
+
+// telemetryConfig is the instrumentation test system: an L1 stride engine
+// plus a Streamline temporal prefetcher, so all three attribution sources and
+// the metadata samples are exercised.
+func telemetryConfig() Config {
+	cfg := smallConfig(1)
+	cfg.L1DPrefetcher = strideFactory
+	cfg.Temporal = streamlineFactory
+	return cfg
+}
+
+func TestTelemetryDoesNotPerturbResult(t *testing.T) {
+	plain := New(telemetryConfig()).RunTrace(traceFor(t, "sphinx06", 31))
+
+	var buf bytes.Buffer
+	cfg := telemetryConfig()
+	col := telemetry.New(telemetry.NewSink(&buf), 50_000)
+	cfg.Telemetry = col
+	inst := New(cfg).RunTrace(traceFor(t, "sphinx06", 31))
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(plain, inst) {
+		t.Errorf("instrumented result differs from plain result:\nplain: %+v\ninstr: %+v",
+			plain.Cores[0], inst.Cores[0])
+	}
+	if buf.Len() == 0 {
+		t.Error("instrumented run wrote no telemetry")
+	}
+}
+
+func TestTelemetryOutputDeterministic(t *testing.T) {
+	run := func() []byte {
+		var buf bytes.Buffer
+		cfg := telemetryConfig()
+		sink := telemetry.NewSink(&buf)
+		sink.SetMinSeverity(telemetry.Debug)
+		col := telemetry.New(sink, 50_000)
+		cfg.Telemetry = col
+		New(cfg).RunTrace(traceFor(t, "mcf06", 32))
+		if err := col.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Errorf("two instrumented runs produced different JSONL (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+func TestIntervalRecordsPerCore(t *testing.T) {
+	const interval = 50_000
+	cfg := smallConfig(2)
+	cfg.L1DPrefetcher = strideFactory
+	cfg.MeasureInstructions = 200_000
+
+	var buf bytes.Buffer
+	col := telemetry.New(telemetry.NewSink(&buf), interval)
+	col.KeepIntervals()
+	cfg.Telemetry = col
+	sys := New(cfg)
+	sys.SetTrace(0, traceFor(t, "sphinx06", 33))
+	sys.SetTrace(1, traceFor(t, "libquantum06", 33))
+	sys.Run()
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := col.Intervals()
+	wantPerCore := int(cfg.MeasureInstructions / interval)
+	perCore := map[int][]telemetry.IntervalRecord{}
+	for _, r := range recs {
+		perCore[r.Core] = append(perCore[r.Core], r)
+	}
+	for core := 0; core < 2; core++ {
+		rs := perCore[core]
+		if len(rs) < wantPerCore {
+			t.Fatalf("core %d: %d interval records, want >= %d", core, len(rs), wantPerCore)
+		}
+		var prev telemetry.IntervalRecord
+		for i, r := range rs {
+			if r.Seq != i {
+				t.Errorf("core %d record %d: seq = %d", core, i, r.Seq)
+			}
+			if i == 0 {
+				prev = r
+				continue
+			}
+			if r.Instructions <= prev.Instructions {
+				t.Errorf("core %d seq %d: instructions %d not increasing (prev %d)",
+					core, r.Seq, r.Instructions, prev.Instructions)
+			}
+			// Every cumulative counter must be monotonically non-decreasing.
+			if r.Cum.L1DMisses < prev.Cum.L1DMisses ||
+				r.Cum.L2Misses < prev.Cum.L2Misses ||
+				r.Cum.PrefetchesIssued < prev.Cum.PrefetchesIssued ||
+				r.Cum.PrefetchFills < prev.Cum.PrefetchFills ||
+				r.Cum.UsefulPrefetches < prev.Cum.UsefulPrefetches ||
+				r.Cum.DRAMReads < prev.Cum.DRAMReads ||
+				r.Cum.DRAMWrites < prev.Cum.DRAMWrites ||
+				r.Cum.MetaTraffic < prev.Cum.MetaTraffic {
+				t.Errorf("core %d seq %d: cumulative counter decreased: %+v -> %+v",
+					core, r.Seq, prev.Cum, r.Cum)
+			}
+			prev = r
+		}
+	}
+
+	// The JSONL stream must hold the same records, one parseable object per
+	// line, intervals never filtered.
+	var intervals int
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal([]byte(line), &probe); err != nil {
+			t.Fatalf("unparseable JSONL line: %v\n%s", err, line)
+		}
+		if probe.Type == "interval" {
+			intervals++
+		}
+	}
+	if intervals != len(recs) {
+		t.Errorf("sink holds %d interval records, collector retained %d", intervals, len(recs))
+	}
+}
+
+func TestAttributionConsistentWithCacheStats(t *testing.T) {
+	cfg := telemetryConfig()
+	res := New(cfg).RunTrace(traceFor(t, "sphinx06", 34))
+	c := res.Cores[0]
+
+	var issued, dropped, fills, timely, late, evicted uint64
+	for _, p := range c.Prefetchers {
+		issued += p.Issued
+		dropped += p.DroppedDuplicate
+		fills += p.Fills
+		timely += p.UsefulTimely
+		late += p.UsefulLate
+		evicted += p.EvictedUnused
+	}
+	if issued != c.PrefetchesIssued {
+		t.Errorf("per-source issued sum %d != PrefetchesIssued %d", issued, c.PrefetchesIssued)
+	}
+	if want := c.L1D.PrefetchFills + c.L2.PrefetchFills; fills != want {
+		t.Errorf("per-source fills sum %d != L1D+L2 prefetch fills %d", fills, want)
+	}
+	if want := c.L1D.UsefulPrefetches + c.L2.UsefulPrefetches; timely+late != want {
+		t.Errorf("per-source useful sum %d != L1D+L2 useful prefetches %d", timely+late, want)
+	}
+	if want := c.L1D.UnusedPrefetches + c.L2.UnusedPrefetches; evicted != want {
+		t.Errorf("per-source evicted-unused sum %d != L1D+L2 unused prefetches %d", evicted, want)
+	}
+	if fills == 0 || timely+late == 0 {
+		t.Error("attribution test exercised no prefetches")
+	}
+	// The temporal engine must dominate on a pointer chase.
+	var temporal PrefetcherResult
+	for _, p := range c.Prefetchers {
+		if p.Source == "temporal" {
+			temporal = p
+		}
+	}
+	if temporal.Fills == 0 || temporal.Accuracy() <= 0 {
+		t.Errorf("temporal attribution empty: %+v", temporal)
+	}
+}
+
+func TestEventTraceCarriesAccuracyEpochs(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := telemetryConfig()
+	col := telemetry.New(telemetry.NewSink(&buf), 0) // events only
+	cfg.Telemetry = col
+	New(cfg).RunTrace(traceFor(t, "sphinx06", 35))
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var epochs int
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var e telemetry.EventRecord
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("unparseable JSONL line: %v\n%s", err, line)
+		}
+		if e.Type == "event" && e.Event == "accuracy-epoch" {
+			epochs++
+			if e.Component != "sim" || e.Severity != "info" {
+				t.Errorf("accuracy-epoch misattributed: %+v", e)
+			}
+		}
+	}
+	if epochs == 0 {
+		t.Error("no accuracy-epoch events recorded for a temporal-prefetcher run")
+	}
+}

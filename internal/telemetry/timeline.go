@@ -1,0 +1,27 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+)
+
+// writeTimeline renders interval records as an aligned ASCII table — the
+// quick way to see phase behavior (warmup transients, accuracy epochs,
+// partition resizes showing up as MPKI/IPC steps) without leaving the
+// terminal. Records are printed in emission order, which interleaves cores
+// by simulated time.
+func writeTimeline(w io.Writer, interval uint64, recs []IntervalRecord) {
+	if len(recs) == 0 {
+		fmt.Fprintf(w, "timeline: no interval records (is -sample-interval set?)\n")
+		return
+	}
+	fmt.Fprintf(w, "timeline: %d records, %d instructions/interval\n", len(recs), interval)
+	header := fmt.Sprintf("%-4s %-4s %12s %8s %9s %9s %7s %7s %9s",
+		"core", "seq", "instr(cum)", "ipc", "l1d-mpki", "l2-mpki", "pf-acc", "pf-cov", "dram-B/cy")
+	fmt.Fprintln(w, header)
+	for _, r := range recs {
+		fmt.Fprintf(w, "%-4d %-4d %12d %8.4f %9.2f %9.2f %6.1f%% %6.1f%% %9.3f\n",
+			r.Core, r.Seq, r.Instructions, r.IPC, r.L1DMPKI, r.L2MPKI,
+			r.PFAccuracy*100, r.PFCoverage*100, r.DRAM.BytesPerCycle)
+	}
+}
