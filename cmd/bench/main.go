@@ -1,0 +1,119 @@
+// Command bench runs the kernel benchmark scenarios (the same set
+// BenchmarkKernel in internal/sim uses) outside the testing framework and
+// writes a JSON baseline with per-record metrics. The committed BENCH_*.json
+// files at the repo root are produced by this tool, so future PRs can
+// compare against a fixed trajectory:
+//
+//	go run ./cmd/bench -o BENCH_PR4.json
+//	go run ./cmd/bench -runs 5 -scenario 1core-streamline-sphinx06 -o -
+//
+// Each scenario runs `runs` times; the reported ns/record and records/sec
+// come from the fastest run (least scheduler noise), allocs/record from the
+// allocator's Mallocs delta of that run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"streamline/internal/sim"
+)
+
+// scenarioResult is one scenario's measurement in the JSON baseline.
+type scenarioResult struct {
+	Name            string  `json:"name"`
+	Cores           int     `json:"cores"`
+	Records         uint64  `json:"records"`
+	NsPerRecord     float64 `json:"ns_per_record"`
+	AllocsPerRecord float64 `json:"allocs_per_record"`
+	RecordsPerSec   float64 `json:"records_per_sec"`
+}
+
+type baseline struct {
+	GoVersion string           `json:"go_version"`
+	GoArch    string           `json:"go_arch"`
+	Runs      int              `json:"runs"`
+	Scenarios []scenarioResult `json:"scenarios"`
+}
+
+func main() {
+	var (
+		out      = flag.String("o", "-", "output file (- for stdout)")
+		runs     = flag.Int("runs", 3, "runs per scenario (fastest wins)")
+		scenario = flag.String("scenario", "", "run only the named scenario")
+	)
+	flag.Parse()
+	if *runs < 1 {
+		fmt.Fprintln(os.Stderr, "bench: -runs must be >= 1")
+		os.Exit(2)
+	}
+
+	scenarios := sim.KernelScenarios()
+	if *scenario != "" {
+		k, err := sim.KernelScenarioByName(*scenario)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(2)
+		}
+		scenarios = []sim.KernelScenario{k}
+	}
+
+	b := baseline{GoVersion: runtime.Version(), GoArch: runtime.GOARCH, Runs: *runs}
+	for _, k := range scenarios {
+		res, err := measure(k, *runs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", k.Name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "%-28s %9.1f ns/record %8.4f allocs/record %11.0f records/sec\n",
+			res.Name, res.NsPerRecord, res.AllocsPerRecord, res.RecordsPerSec)
+		b.Scenarios = append(b.Scenarios, res)
+	}
+
+	enc, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// measure runs the scenario `runs` times and keeps the fastest.
+func measure(k sim.KernelScenario, runs int) (scenarioResult, error) {
+	best := scenarioResult{Name: k.Name, Cores: k.Cores}
+	for r := 0; r < runs; r++ {
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		_, records, err := k.Run()
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		if err != nil {
+			return scenarioResult{}, err
+		}
+		if records == 0 {
+			return scenarioResult{}, fmt.Errorf("no records executed")
+		}
+		ns := float64(elapsed.Nanoseconds()) / float64(records)
+		if r == 0 || ns < best.NsPerRecord {
+			best.Records = records
+			best.NsPerRecord = ns
+			best.AllocsPerRecord = float64(ms1.Mallocs-ms0.Mallocs) / float64(records)
+			best.RecordsPerSec = float64(records) / elapsed.Seconds()
+		}
+	}
+	return best, nil
+}

@@ -300,13 +300,41 @@ type LookupResult struct {
 // Lookup searches for the access's line, updating replacement and
 // prefetch-bit state. now is the cycle the access reaches this level.
 func (c *Cache) Lookup(now uint64, a mem.Access) LookupResult {
-	set := c.SetOf(a.Line())
 	demand := a.Kind.IsDemand()
 	if demand {
 		c.Stats.DemandAccesses++
 	} else if a.Kind == mem.Prefetch {
 		c.Stats.PrefetchAccesses++
 	}
+	res, hit := c.lookupHit(now, a)
+	if !hit && demand {
+		c.Stats.DemandMisses++
+	}
+	return res
+}
+
+// LookupResident is Lookup restricted to resident lines: one tag walk that
+// applies Lookup's full side effects on a hit and none at all on a miss.
+// It replaces the Probe-then-Lookup double scan on prefetch promote paths,
+// where an absent line must not count as a cache access.
+func (c *Cache) LookupResident(now uint64, a mem.Access) (LookupResult, bool) {
+	res, hit := c.lookupHit(now, a)
+	if hit {
+		if a.Kind.IsDemand() {
+			c.Stats.DemandAccesses++
+		} else if a.Kind == mem.Prefetch {
+			c.Stats.PrefetchAccesses++
+		}
+	}
+	return res, hit
+}
+
+// lookupHit performs the tag walk, applying every hit-side effect (stats,
+// prefetch bit, replacement, dirty marking) when the line is found and
+// touching nothing when it is not. Access/miss counting is the caller's.
+func (c *Cache) lookupHit(now uint64, a mem.Access) (LookupResult, bool) {
+	set := c.SetOf(a.Line())
+	demand := a.Kind.IsDemand()
 	for w := c.reserved[set]; w < c.cfg.Ways; w++ {
 		ln := &c.sets[set][w]
 		if !ln.valid || ln.tag != a.Line() {
@@ -344,12 +372,9 @@ func (c *Cache) Lookup(now uint64, a mem.Access) LookupResult {
 			ln.dirty = true
 		}
 		c.repl.Hit(set, w, replacement.Access{PC: a.PC, Line: a.Line()})
-		return res
+		return res, true
 	}
-	if demand {
-		c.Stats.DemandMisses++
-	}
-	return LookupResult{}
+	return LookupResult{}, false
 }
 
 // Probe reports whether the line is resident, without touching any state.
@@ -380,9 +405,21 @@ func (c *Cache) Fill(a mem.Access, readyAt uint64, src Source) Victim {
 	for w := lo; w < c.cfg.Ways; w++ {
 		ln := &c.sets[set][w]
 		if ln.valid && ln.tag == a.Line() {
-			// Already present (e.g. a racing fill); refresh in place.
-			way = w
-			break
+			// Already present (e.g. a racing fill): refresh in place. A
+			// refresh is not a new install, so the resident copy keeps its
+			// dirty bit (else the pending writeback is lost), its
+			// prefetched/src attribution (a prefetch landing on a
+			// demand-owned line earns no coverage credit, and no
+			// PrefetchFills/Sources fill is counted — the line was filled
+			// once), and whichever fill completes first.
+			if a.Kind == mem.Store || a.Kind == mem.Writeback {
+				ln.dirty = true
+			}
+			if readyAt < ln.readyAt {
+				ln.readyAt = readyAt
+			}
+			c.repl.Fill(set, w, replacement.Access{PC: a.PC, Line: a.Line()})
+			return Victim{}
 		}
 		if !ln.valid && way < 0 {
 			way = w

@@ -302,6 +302,88 @@ func TestFillRefreshExistingLine(t *testing.T) {
 	}
 }
 
+func prefetchAt(l mem.Line) mem.Access {
+	return mem.Access{Addr: mem.AddrOf(l), Kind: mem.Prefetch}
+}
+
+func TestFillRefreshPreservesDirty(t *testing.T) {
+	c := New(testConfig())
+	st := mem.Access{PC: 1, Addr: mem.AddrOf(4), Kind: mem.Store}
+	c.Fill(st, 0, SrcDemand)
+	// A racing prefetch fill for the same line must not clear the dirty
+	// bit: the pending writeback would be lost.
+	c.Fill(prefetchAt(4), 0, SrcL1)
+	// Evict the line by filling the set beyond associativity.
+	var v Victim
+	for i := 1; i <= 4; i++ {
+		a := loadAt(mem.Line(4 + i*16))
+		if w := c.Fill(a, 0, SrcDemand); w.Valid {
+			v = w
+		}
+	}
+	if !v.Valid || v.Line != 4 {
+		t.Fatalf("victim = %+v, want line 4", v)
+	}
+	if !v.Dirty {
+		t.Error("refresh dropped the dirty bit: victim not dirty")
+	}
+	if c.Stats.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Stats.Writebacks)
+	}
+}
+
+func TestFillRefreshAttribution(t *testing.T) {
+	c := New(testConfig())
+	pf := prefetchAt(4)
+
+	// A prefetch refreshing a demand-owned line is not a new fill: no
+	// PrefetchFills/Sources credit, and the line stays demand-owned.
+	c.Fill(loadAt(4), 0, SrcDemand)
+	c.Fill(pf, 0, SrcL1)
+	if c.Stats.PrefetchFills != 0 || c.Stats.Sources[SrcL1].Fills != 0 {
+		t.Errorf("refresh counted as fill: PrefetchFills=%d Sources=%d",
+			c.Stats.PrefetchFills, c.Stats.Sources[SrcL1].Fills)
+	}
+	if r := c.Lookup(1, loadAt(4)); r.WasPrefetched {
+		t.Error("refresh re-marked a demand-owned line as prefetched")
+	}
+
+	// A prefetch refreshing a prefetch-owned line keeps a single fill's
+	// worth of attribution: one fill, and at most one useful outcome.
+	c.Fill(prefetchAt(20), 0, SrcL1)
+	c.Fill(prefetchAt(20), 0, SrcL1)
+	if c.Stats.PrefetchFills != 1 || c.Stats.Sources[SrcL1].Fills != 1 {
+		t.Errorf("double-counted resident prefetch: PrefetchFills=%d Sources=%d",
+			c.Stats.PrefetchFills, c.Stats.Sources[SrcL1].Fills)
+	}
+	c.Lookup(2, loadAt(20))
+	s := c.Stats.Sources[SrcL1]
+	if got := s.UsefulTimely + s.UsefulLate; got != 1 {
+		t.Errorf("useful outcomes = %d, want 1", got)
+	}
+	if fills := s.Fills; fills != s.UsefulTimely+s.UsefulLate+s.EvictedUnused {
+		t.Errorf("attribution unbalanced: fills=%d outcomes=%d",
+			fills, s.UsefulTimely+s.UsefulLate+s.EvictedUnused)
+	}
+}
+
+func TestFillRefreshKeepsEarlierReadyAt(t *testing.T) {
+	c := New(testConfig())
+	a := loadAt(4)
+	c.Fill(a, 100, SrcDemand)
+	c.Fill(a, 200, SrcDemand)
+	if r := c.Lookup(150, a); r.ExtraWait != 0 {
+		t.Errorf("refresh pushed readyAt back: ExtraWait = %d, want 0", r.ExtraWait)
+	}
+
+	b := loadAt(20)
+	c.Fill(b, 200, SrcDemand)
+	c.Fill(b, 100, SrcDemand)
+	if r := c.Lookup(150, b); r.ExtraWait != 0 {
+		t.Errorf("refresh ignored earlier readyAt: ExtraWait = %d, want 0", r.ExtraWait)
+	}
+}
+
 func TestDefaultsApplied(t *testing.T) {
 	c := New(Config{Name: "d", Sets: 2, Ways: 1})
 	if c.Config().Ports != 1 || c.Config().MSHRs != 8 {

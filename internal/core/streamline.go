@@ -185,6 +185,15 @@ type Prefetcher struct {
 	minBytes int
 	bypass   *bypassState // nil unless Options.Bypass
 
+	// Scratch target buffers reused across train calls so the hot path
+	// does not allocate. Each backs at most one live Entry at a time:
+	// trainBuf the completed stream, realignBuf a realigned copy of it,
+	// alignBuf the merge of a buffered entry with the fresh one. Every
+	// consumer (store.Insert, mbInsert) copies the targets it keeps.
+	trainBuf   []mem.Line
+	realignBuf []mem.Line
+	alignBuf   []mem.Line
+
 	Stats Stats
 }
 
@@ -331,8 +340,7 @@ func (p *Prefetcher) mbInsert(tu *tuEntry, e meta.Entry) {
 	for i := range tu.mb {
 		s := &tu.mb[i]
 		if s.valid && s.e.Trigger == e.Trigger {
-			s.e = e
-			s.lru = p.clock
+			s.setEntry(e, p.clock)
 			return
 		}
 		if !s.valid {
@@ -343,7 +351,19 @@ func (p *Prefetcher) mbInsert(tu *tuEntry, e meta.Entry) {
 			victim = i
 		}
 	}
-	tu.mb[victim] = mbSlot{valid: true, e: e, lru: p.clock}
+	tu.mb[victim].setEntry(e, p.clock)
+	tu.mb[victim].valid = true
+}
+
+// setEntry copies e into the slot, reusing the slot's target buffer: the
+// entries handed to mbInsert are backed by scratch buffers (the store's
+// lookup buffer, the training unit's stream scratch) that the next store
+// or train operation overwrites.
+func (s *mbSlot) setEntry(e meta.Entry, clock uint64) {
+	s.e.Trigger = e.Trigger
+	s.e.Conf = e.Conf
+	s.e.Targets = append(s.e.Targets[:0], e.Targets...)
+	s.lru = clock
 }
 
 // ---- training -----------------------------------------------------------
@@ -375,10 +395,8 @@ func (p *Prefetcher) train(now uint64, pc mem.PC, tu *tuEntry, line mem.Line) {
 
 	// The entry is complete.
 	p.Stats.CompletedStreams++
-	e := meta.Entry{
-		Trigger: tu.cur.Trigger,
-		Targets: append([]mem.Line(nil), tu.cur.Targets...),
-	}
+	p.trainBuf = append(p.trainBuf[:0], tu.cur.Targets...)
+	e := meta.Entry{Trigger: tu.cur.Trigger, Targets: p.trainBuf}
 
 	// Filtered-trigger realignment (Section IV-C): shift the stream
 	// window back through recent history until the trigger lands in the
@@ -400,8 +418,9 @@ func (p *Prefetcher) train(now uint64, pc mem.PC, tu *tuEntry, line mem.Line) {
 	if !p.opt.DisableAlignment {
 		if old, pos, ok := tu.mbFind(e.Trigger); ok {
 			p.Stats.AlignmentOpportunities++
-			if aligned, consumed, ok2 := alignStreams(old.e, pos, e, p.opt.StreamLength); ok2 {
+			if aligned, consumed, ok2 := alignStreams(old.e, pos, e, p.opt.StreamLength, p.alignBuf); ok2 {
 				p.Stats.Alignments++
+				p.alignBuf = aligned.Targets[:0]
 				if consumed < len(e.Targets) {
 					leftover = e.Targets[consumed:]
 					nextTrigger = aligned.Targets[len(aligned.Targets)-1]
@@ -443,10 +462,11 @@ func (p *Prefetcher) realign(tu *tuEntry, e meta.Entry) (meta.Entry, bool) {
 		if p.store.WouldFilter(cand) {
 			continue
 		}
-		re := meta.Entry{Trigger: cand, Targets: make([]mem.Line, 0, k)}
+		re := meta.Entry{Trigger: cand, Targets: p.realignBuf[:0]}
 		for j := k + shift - 1; j >= shift && len(re.Targets) < k; j-- {
 			re.Targets = append(re.Targets, tu.hist[j])
 		}
+		p.realignBuf = re.Targets[:0]
 		if len(re.Targets) == k {
 			return re, true
 		}
@@ -458,12 +478,13 @@ func (p *Prefetcher) realign(tu *tuEntry, e meta.Entry) (meta.Entry, bool) {
 // entry keeps the old trigger and the old prefix up to the overlap point,
 // then continues with the new entry's updated correlations (Figure 3b). It
 // returns the aligned entry and how many of the fresh entry's targets it
-// consumed — the rest bootstrap the next entry.
-func alignStreams(old meta.Entry, pos int, fresh meta.Entry, k int) (meta.Entry, int, bool) {
+// consumed — the rest bootstrap the next entry. The aligned targets are
+// built in buf (which must not alias either input's targets).
+func alignStreams(old meta.Entry, pos int, fresh meta.Entry, k int, buf []mem.Line) (meta.Entry, int, bool) {
 	if pos >= 1+len(old.Targets) {
 		return meta.Entry{}, 0, false
 	}
-	aligned := meta.Entry{Trigger: old.Trigger, Targets: make([]mem.Line, 0, k)}
+	aligned := meta.Entry{Trigger: old.Trigger, Targets: buf[:0]}
 	// Old prefix: targets before the overlap position.
 	for j := 0; j < pos-1 && j < len(old.Targets); j++ {
 		aligned.Targets = append(aligned.Targets, old.Targets[j])

@@ -84,7 +84,7 @@ func TestAlignStreams(t *testing.T) {
 	A, B, C, D, E, X, Y := mem.Line(1), mem.Line(2), mem.Line(3), mem.Line(4), mem.Line(5), mem.Line(6), mem.Line(7)
 	old := meta.Entry{Trigger: A, Targets: []mem.Line{B, C, D, E}}
 	fresh := meta.Entry{Trigger: B, Targets: []mem.Line{C, D, X, Y}}
-	aligned, consumed, ok := alignStreams(old, 1, fresh, 4)
+	aligned, consumed, ok := alignStreams(old, 1, fresh, 4, nil)
 	if !ok {
 		t.Fatal("alignment failed")
 	}
@@ -107,7 +107,7 @@ func TestAlignStreamsDeepOverlap(t *testing.T) {
 	// G H] at pos 3 -> [A; B C D E], consuming only E.
 	old := meta.Entry{Trigger: 1, Targets: []mem.Line{2, 3, 4, 5}}
 	fresh := meta.Entry{Trigger: 4, Targets: []mem.Line{5, 6, 7, 8}}
-	aligned, consumed, ok := alignStreams(old, 3, fresh, 4)
+	aligned, consumed, ok := alignStreams(old, 3, fresh, 4, nil)
 	if !ok {
 		t.Fatal("alignment failed")
 	}

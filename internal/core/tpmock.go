@@ -188,9 +188,9 @@ func (p *tpMockingjay) Fill(set, slot int, a meta.EntryAccess) {
 
 func (p *tpMockingjay) Evict(set, slot int) { p.etr[set][slot] = 0 }
 
-func (p *tpMockingjay) Victim(set int, candidates []int, _ meta.EntryAccess) int {
-	best, bestAbs := candidates[0], int8(-1)
-	for _, c := range candidates {
+func (p *tpMockingjay) Victim(set, lo, hi int, _ meta.EntryAccess) int {
+	best, bestAbs := lo, int8(-1)
+	for c := lo; c < hi; c++ {
 		e := p.etr[set][c]
 		abs := e
 		if abs < 0 {

@@ -209,10 +209,6 @@ func (d *DRAM) Access(now uint64, l mem.Line, write bool) uint64 {
 	d.chanXfers[ch]++
 
 	done := start + rowLat + d.cfg.TransferCycles
-	if write {
-		d.Stats.Writes++
-	} else {
-		d.Stats.Reads++
-	}
+	d.Stats.Reads++
 	return done - now
 }

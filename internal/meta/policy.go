@@ -16,9 +16,11 @@ type EntryPolicy interface {
 	Touch(set, slot int, a EntryAccess)
 	// Fill records installation of a new entry in a slot.
 	Fill(set, slot int, a EntryAccess)
-	// Victim picks the slot to evict among candidates (all valid), given
-	// the incoming entry's access context.
-	Victim(set int, candidates []int, a EntryAccess) int
+	// Victim picks the slot to evict among the candidate slots [lo, hi)
+	// (all valid), given the incoming entry's access context. Placement
+	// constraints always resolve to a contiguous slot range — a single
+	// way's slots or every live slot of the set.
+	Victim(set, lo, hi int, a EntryAccess) int
 	// Evict records invalidation of a slot.
 	Evict(set, slot int)
 }
@@ -54,9 +56,9 @@ func (p *entryLRU) Touch(set, slot int, _ EntryAccess) { p.touch(set, slot) }
 func (p *entryLRU) Fill(set, slot int, _ EntryAccess)  { p.touch(set, slot) }
 func (p *entryLRU) Evict(set, slot int)                { p.stamp[set][slot] = 0 }
 
-func (p *entryLRU) Victim(set int, candidates []int, _ EntryAccess) int {
-	best := candidates[0]
-	for _, s := range candidates[1:] {
+func (p *entryLRU) Victim(set, lo, hi int, _ EntryAccess) int {
+	best := lo
+	for s := lo + 1; s < hi; s++ {
 		if p.stamp[set][s] < p.stamp[set][best] {
 			best = s
 		}
@@ -91,15 +93,15 @@ func (p *entrySRRIP) Touch(set, slot int, _ EntryAccess) { p.rrpv[set][slot] = 0
 func (p *entrySRRIP) Fill(set, slot int, _ EntryAccess)  { p.rrpv[set][slot] = entryRRPVMax - 1 }
 func (p *entrySRRIP) Evict(set, slot int)                { p.rrpv[set][slot] = entryRRPVMax }
 
-func (p *entrySRRIP) Victim(set int, candidates []int, _ EntryAccess) int {
+func (p *entrySRRIP) Victim(set, lo, hi int, _ EntryAccess) int {
 	row := p.rrpv[set]
 	for {
-		for _, s := range candidates {
+		for s := lo; s < hi; s++ {
 			if row[s] >= entryRRPVMax {
 				return s
 			}
 		}
-		for _, s := range candidates {
+		for s := lo; s < hi; s++ {
 			row[s]++
 		}
 	}

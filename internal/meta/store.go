@@ -96,6 +96,12 @@ type Store struct {
 	slots [][]slot // [logical set][way*epb+idx]
 	pol   EntryPolicy
 
+	// lookupBuf backs the Targets slice of the Entry Lookup returns; it is
+	// valid until the next Lookup. Callers that retain an entry across
+	// store operations must copy the targets (Streamline's metadata
+	// buffer does).
+	lookupBuf []mem.Line
+
 	// tel receives resize events; nil (the default) disables them. lastNow
 	// tracks the most recent Lookup/Insert cycle so Resize — which has no
 	// cycle argument of its own — can timestamp its event.
@@ -279,55 +285,34 @@ func (s *Store) wayOf(t mem.Line) (way int, live bool) {
 	return h % s.curWays, true
 }
 
-// candidates returns the slot indices the trigger's entry may occupy within
-// its logical set, honoring the two-level index (untagged) or partial-tag
-// aliasing (tagged). It also reports whether aliasing constrained a tagged
-// placement.
-func (s *Store) candidates(set int, t mem.Line) (cand []int, aliased bool, live bool) {
+// candidates returns the contiguous slot range [lo, hi) the trigger's entry
+// may occupy within its logical set, honoring the two-level index (untagged)
+// or partial-tag aliasing (tagged). Every placement constraint resolves to a
+// contiguous range — a whole way's slots or every live slot — so no index
+// list is materialized. It also reports whether aliasing constrained a
+// tagged placement.
+func (s *Store) candidates(set int, t mem.Line) (lo, hi int, aliased bool, live bool) {
 	if !s.cfg.Tagged {
 		way, ok := s.wayOf(t)
-		if !ok {
-			return nil, false, false
+		if !ok || way >= s.curWays {
+			return 0, 0, false, false
 		}
-		if way >= s.curWays {
-			return nil, false, false
-		}
-		base := way * s.epb
-		cand = make([]int, s.epb)
-		for i := range cand {
-			cand[i] = base + i
-		}
-		return cand, false, true
+		lo = way * s.epb
+		return lo, lo + s.epb, false, true
 	}
 	// Tagged: any live way, but an existing entry with the same partial
 	// tag pins the incoming entry to its way.
 	pt := s.partialTag(t)
-	aliasWay := -1
 	for w := 0; w < s.curWays; w++ {
 		for i := 0; i < s.epb; i++ {
 			sl := &s.slots[set][w*s.epb+i]
 			if sl.valid && sl.partial == pt && sl.trigger != t {
-				aliasWay = w
-				break
+				lo = w * s.epb
+				return lo, lo + s.epb, true, true
 			}
 		}
-		if aliasWay >= 0 {
-			break
-		}
 	}
-	if aliasWay >= 0 {
-		base := aliasWay * s.epb
-		cand = make([]int, s.epb)
-		for i := range cand {
-			cand[i] = base + i
-		}
-		return cand, true, true
-	}
-	cand = make([]int, s.curWays*s.epb)
-	for i := range cand {
-		cand[i] = i
-	}
-	return cand, false, true
+	return 0, s.curWays * s.epb, false, true
 }
 
 // WouldFilter reports whether an entry with the given trigger would be
@@ -351,7 +336,8 @@ func (s *Store) WouldFilter(t mem.Line) bool {
 // Lookup searches the store for the trigger's entry at cycle now, charging
 // one LLC metadata read unless filtered indexing proves statically that the
 // trigger cannot be present. It returns the entry, whether it was found, and
-// the lookup latency.
+// the lookup latency. The entry's Targets slice is backed by a buffer owned
+// by the store and is only valid until the next Lookup.
 func (s *Store) Lookup(now uint64, pc mem.PC, t mem.Line) (Entry, bool, uint64) {
 	s.Stats.Lookups++
 	s.lastNow = now
@@ -360,7 +346,7 @@ func (s *Store) Lookup(now uint64, pc mem.PC, t mem.Line) (Entry, bool, uint64) 
 		s.Stats.FilteredLookups++
 		return Entry{}, false, 0
 	}
-	cand, _, ok := s.candidates(set, t)
+	lo, hi, _, ok := s.candidates(set, t)
 	if !ok {
 		s.Stats.FilteredLookups++
 		return Entry{}, false, 0
@@ -368,13 +354,13 @@ func (s *Store) Lookup(now uint64, pc mem.PC, t mem.Line) (Entry, bool, uint64) 
 	lat := s.bridge.MetaAccess(now, mem.MetaRead)
 	s.Stats.Reads++
 	h := s.triggerHash(t)
-	for _, idx := range cand {
+	for idx := lo; idx < hi; idx++ {
 		sl := &s.slots[set][idx]
 		if sl.valid && sl.hash == h {
 			s.Stats.TriggerHits++
 			s.pol.Touch(set, idx, EntryAccess{PC: pc, Trigger: t, FirstTarget: sl.targets[0]})
-			out := Entry{Trigger: sl.trigger, Targets: append([]mem.Line(nil), sl.targets...), Conf: sl.conf}
-			return out, true, lat
+			s.lookupBuf = append(s.lookupBuf[:0], sl.targets...)
+			return Entry{Trigger: sl.trigger, Targets: s.lookupBuf, Conf: sl.conf}, true, lat
 		}
 	}
 	return Entry{}, false, lat
@@ -394,7 +380,7 @@ func (s *Store) Insert(now uint64, pc mem.PC, e Entry) (uint64, bool) {
 		s.Stats.FilteredInserts++
 		return 0, false
 	}
-	cand, aliased, ok := s.candidates(set, e.Trigger)
+	lo, hi, aliased, ok := s.candidates(set, e.Trigger)
 	if !ok {
 		s.Stats.FilteredInserts++
 		return 0, false
@@ -407,7 +393,7 @@ func (s *Store) Insert(now uint64, pc mem.PC, e Entry) (uint64, bool) {
 
 	// In-place update of an existing entry for this trigger. The
 	// confidence bit confirms on identical targets and clears otherwise.
-	for _, idx := range cand {
+	for idx := lo; idx < hi; idx++ {
 		sl := &s.slots[set][idx]
 		if sl.valid && sl.hash == h {
 			same := len(sl.targets) == len(e.Targets)
@@ -430,14 +416,14 @@ func (s *Store) Insert(now uint64, pc mem.PC, e Entry) (uint64, bool) {
 	}
 	// Free slot, else victim.
 	target := -1
-	for _, idx := range cand {
+	for idx := lo; idx < hi; idx++ {
 		if !s.slots[set][idx].valid {
 			target = idx
 			break
 		}
 	}
 	if target < 0 {
-		target = s.pol.Victim(set, cand, acc)
+		target = s.pol.Victim(set, lo, hi, acc)
 		s.pol.Evict(set, target)
 		s.Stats.Evictions++
 	}
@@ -570,9 +556,13 @@ func (s *Store) migrate(oldWays, oldSpacing int) uint64 {
 	var toMove []moved
 	var movedBlocksOut uint64
 
+	blockDirty := make([]bool, s.maxWays)
 	for set := range s.slots {
 		setLiveNow := s.setLive(set) || !s.cfg.SetPartitioned
-		blockDirty := make(map[int]bool)
+		for i := range blockDirty {
+			blockDirty[i] = false
+		}
+		dirtyBlocks := 0
 		for idx := range s.slots[set] {
 			sl := &s.slots[set][idx]
 			if !sl.valid {
@@ -615,14 +605,17 @@ func (s *Store) migrate(oldWays, oldSpacing int) uint64 {
 					e:  Entry{Trigger: sl.trigger, Targets: append([]mem.Line(nil), sl.targets...)},
 					pc: sl.pc,
 				})
-				blockDirty[way] = true
+				if !blockDirty[way] {
+					blockDirty[way] = true
+					dirtyBlocks++
+				}
 			} else {
 				s.Stats.DroppedResize++
 			}
 			s.pol.Evict(set, idx)
-			*sl = slot{}
+			*sl = slot{targets: sl.targets[:0]}
 		}
-		movedBlocksOut += uint64(len(blockDirty))
+		movedBlocksOut += uint64(dirtyBlocks)
 	}
 
 	var movedBlocksIn uint64

@@ -126,6 +126,10 @@ type Prefetcher struct {
 	ideal map[mem.Line]idealEntry
 
 	accesses uint64
+
+	// insTarget backs the one-element Targets slice of pairwise inserts;
+	// the store copies what it keeps.
+	insTarget [1]mem.Line
 }
 
 // New constructs Triage over the given LLC bridge.
@@ -217,7 +221,8 @@ func (p *Prefetcher) Train(ev prefetch.Event, out []prefetch.Request) []prefetch
 	// LUT slots produce wrong-region prefetches exactly as in hardware.
 	lutIdx := p.lut.encode(line)
 	compressed := mem.Line(uint64(lutIdx)<<48) | (line & (1<<11 - 1))
-	p.store.Insert(ev.Now, ev.PC, meta.Entry{Trigger: trigger, Targets: []mem.Line{compressed}})
+	p.insTarget[0] = compressed
+	p.store.Insert(ev.Now, ev.PC, meta.Entry{Trigger: trigger, Targets: p.insTarget[:]})
 
 	cur := line
 	var delay uint64

@@ -135,11 +135,15 @@ type Prefetcher struct {
 	scs []scsEntry
 	mrb []mrbEntry
 
-	pcConf map[uint32]*pcState
+	pcConf pcConfTable
 
 	clock    uint64
 	scsNext  int
 	accesses uint64
+
+	// insTarget backs the one-element Targets slice of pairwise inserts;
+	// the store copies what it keeps.
+	insTarget [1]mem.Line
 
 	// MRBHits counts metadata reads avoided by the reuse buffer.
 	MRBHits uint64
@@ -152,6 +156,84 @@ type pcState struct {
 	sampleShift uint8 // dynamic sampling period exponent (0..12)
 	sampleCtr   uint32
 	laMode      bool // lookahead engaged (hysteretic)
+}
+
+// pcConfTable maps 24-bit PC signatures to their pcState: an open-addressed
+// index over a chunked arena, replacing a map on the per-train hot path.
+// Growing rehashes only the index arrays; the states live in fixed-size
+// arena chunks, so *pcState pointers stay valid for the table's lifetime
+// (Train holds one across conf calls that may insert other signatures).
+type pcConfTable struct {
+	keys  []uint32 // sig+1; 0 marks an empty probe slot
+	idx   []int32  // arena position of the slot's state
+	arena [][]pcState
+	n     int
+}
+
+const pcConfChunk = 256
+
+func (t *pcConfTable) at(j int32) *pcState {
+	return &t.arena[j/pcConfChunk][j%pcConfChunk]
+}
+
+// find returns the signature's state, or nil if absent. Signatures are
+// already hashed (HashPC), so they probe directly.
+func (t *pcConfTable) find(sig uint32) *pcState {
+	if len(t.keys) == 0 {
+		return nil
+	}
+	mask := uint32(len(t.keys) - 1)
+	for i := sig & mask; ; i = (i + 1) & mask {
+		switch t.keys[i] {
+		case sig + 1:
+			return t.at(t.idx[i])
+		case 0:
+			return nil
+		}
+	}
+}
+
+// insert adds a state for a signature not already present.
+func (t *pcConfTable) insert(sig uint32, st pcState) *pcState {
+	if 4*(t.n+1) > 3*len(t.keys) {
+		t.grow()
+	}
+	j := int32(t.n)
+	if t.n%pcConfChunk == 0 {
+		t.arena = append(t.arena, make([]pcState, pcConfChunk))
+	}
+	*t.at(j) = st
+	t.n++
+	mask := uint32(len(t.keys) - 1)
+	for i := sig & mask; ; i = (i + 1) & mask {
+		if t.keys[i] == 0 {
+			t.keys[i], t.idx[i] = sig+1, j
+			break
+		}
+	}
+	return t.at(j)
+}
+
+func (t *pcConfTable) grow() {
+	oldKeys, oldIdx := t.keys, t.idx
+	size := 2 * len(oldKeys)
+	if size == 0 {
+		size = 64
+	}
+	t.keys = make([]uint32, size)
+	t.idx = make([]int32, size)
+	mask := uint32(size - 1)
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		for j := (k - 1) & mask; ; j = (j + 1) & mask {
+			if t.keys[j] == 0 {
+				t.keys[j], t.idx[j] = k, oldIdx[i]
+				break
+			}
+		}
+	}
 }
 
 // lookahead applies hysteresis: engage at pattern >= 12, disengage < 6.
@@ -189,11 +271,10 @@ func New(cfg Config, bridge meta.Bridge) *Prefetcher {
 	p := &Prefetcher{
 		cfg:    cfg,
 		store:  meta.NewStore(storeCfg, bridge),
-		tu:     make([]tuEntry, cfg.TUSize),
-		hs:     make([][]hsEntry, cfg.HSSets),
-		scs:    make([]scsEntry, cfg.SCSSize),
-		mrb:    make([]mrbEntry, cfg.MRBSize),
-		pcConf: make(map[uint32]*pcState),
+		tu:    make([]tuEntry, cfg.TUSize),
+		hs:    make([][]hsEntry, cfg.HSSets),
+		scs:   make([]scsEntry, cfg.SCSSize),
+		mrb:   make([]mrbEntry, cfg.MRBSize),
 	}
 	for i := range p.hs {
 		p.hs[i] = make([]hsEntry, cfg.HSWays)
@@ -239,13 +320,11 @@ func (p *Prefetcher) ObserveLLCData(set int, line mem.Line) {
 }
 
 func (p *Prefetcher) conf(sig uint32) *pcState {
-	st, ok := p.pcConf[sig]
-	if !ok {
-		// New PCs start mildly trusted so cold workloads begin training.
-		st = &pcState{reuseConf: 8, patternConf: 8, sampleShift: p.cfg.SampleShift}
-		p.pcConf[sig] = st
+	if st := p.pcConf.find(sig); st != nil {
+		return st
 	}
-	return st
+	// New PCs start mildly trusted so cold workloads begin training.
+	return p.pcConf.insert(sig, pcState{reuseConf: 8, patternConf: 8, sampleShift: p.cfg.SampleShift})
 }
 
 func bump(v *int8, d int8) {
@@ -448,8 +527,9 @@ func (p *Prefetcher) Train(ev prefetch.Event, out []prefetch.Request) []prefetch
 		// — this is the bypass that protects mcf's scans.
 		if int(st.reuseConf) >= p.cfg.ReuseThreshold {
 			if t, _, ok := p.mrbLookup(trigger); !ok || t != line {
+				p.insTarget[0] = line
 				_, conf := p.store.Insert(ev.Now, ev.PC, meta.Entry{
-					Trigger: trigger, Targets: []mem.Line{line},
+					Trigger: trigger, Targets: p.insTarget[:],
 				})
 				p.mrbInsert(trigger, line, conf)
 			}

@@ -2,11 +2,82 @@ package sim
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"streamline/internal/telemetry"
 	"streamline/internal/workloads"
 )
+
+// BenchmarkKernel measures the per-trace-record cost of the simulation
+// kernel on each representative scenario. Custom metrics normalize per
+// record: ns/record and records/sec come from the wall clock, allocs/record
+// from the allocator's Mallocs counter. cmd/bench runs the same scenarios
+// to produce the committed BENCH_*.json baselines.
+func BenchmarkKernel(b *testing.B) {
+	for _, k := range KernelScenarios() {
+		b.Run(k.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			var records uint64
+			for i := 0; i < b.N; i++ {
+				_, recs, err := k.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				records += recs
+			}
+			runtime.ReadMemStats(&ms1)
+			if records == 0 {
+				b.Fatal("kernel executed no records")
+			}
+			el := b.Elapsed()
+			b.ReportMetric(float64(el.Nanoseconds())/float64(records), "ns/record")
+			b.ReportMetric(float64(records)/el.Seconds(), "records/sec")
+			b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(records), "allocs/record")
+		})
+	}
+}
+
+// TestKernelAllocsPerRecordCeiling pins the allocation rate of each kernel
+// scenario. The hot path is allocation-free after warmup, so per-record
+// allocations are amortized setup cost; the ceilings hold 2-3x headroom
+// over current values (base 0.02, temporal ~0.18) while failing loudly on
+// a per-record allocation regression (pre-optimization rates were 0.8-2.1).
+func TestKernelAllocsPerRecordCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full kernel runs")
+	}
+	ceilings := map[string]float64{
+		"1core-base-sphinx06":       0.10,
+		"1core-streamline-sphinx06": 0.50,
+		"1core-triangel-mcf06":      0.50,
+		"4core-streamline-mix":      0.40,
+	}
+	for _, k := range KernelScenarios() {
+		ceil, ok := ceilings[k.Name]
+		if !ok {
+			t.Errorf("%s: no allocs/record ceiling defined; add one", k.Name)
+			continue
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		_, records, err := k.Run()
+		runtime.ReadMemStats(&ms1)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if records == 0 {
+			t.Fatalf("%s: no records executed", k.Name)
+		}
+		got := float64(ms1.Mallocs-ms0.Mallocs) / float64(records)
+		if got > ceil {
+			t.Errorf("%s: %.4f allocs/record exceeds ceiling %.2f", k.Name, got, ceil)
+		}
+	}
+}
 
 // benchmarkRun measures a full simulation; newCollector nil benchmarks the
 // disabled path (the overhead telemetry must not add), non-nil the

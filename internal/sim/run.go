@@ -196,11 +196,17 @@ func (s *System) issuePrefetch(cs *coreState, now uint64, req prefetch.Request, 
 	}
 	toL1 := src == cache.SrcL1
 	acc := mem.Access{PC: 0, Addr: req.Addr, Kind: mem.Prefetch, Core: cs.id}
-	if cs.l2.Probe(acc.Line()) {
-		if toL1 && !cs.l1d.Probe(acc.Line()) {
-			// Promote from L2 to L1 (the L2 lookup updates its
-			// replacement and prefetch-hit state).
-			cs.l2.Lookup(now, acc)
+	if toL1 {
+		if cs.l1d.Probe(acc.Line()) {
+			// Already in the L1: a duplicate whether or not the L2 also
+			// holds it.
+			cs.droppedBy[src]++
+			return
+		}
+		if _, ok := cs.l2.LookupResident(now, acc); ok {
+			// Promote from L2 to L1 in the same tag walk that confirmed
+			// residency (the lookup updates the L2's replacement and
+			// prefetch-hit state).
 			done := now + s.cfg.L2.Latency
 			v := cs.l1d.Fill(acc, done, src)
 			if v.Valid && v.Dirty {
@@ -210,10 +216,7 @@ func (s *System) issuePrefetch(cs *coreState, now uint64, req prefetch.Request, 
 			cs.issuedBy[src]++
 			return
 		}
-		cs.droppedBy[src]++
-		return
-	}
-	if toL1 && cs.l1d.Probe(acc.Line()) {
+	} else if cs.l2.Probe(acc.Line()) {
 		cs.droppedBy[src]++
 		return
 	}
@@ -283,26 +286,45 @@ func (s *System) feedAccuracy(cs *coreState, now uint64) {
 	}
 }
 
+// pickNext scans for the unfinished core with the earliest clock (lowest
+// index on ties) and the runner-up among the remaining cores. Stepping
+// advances only the chosen core's clock, so the choice stays valid — with
+// no rescanning — until it stops beating the runner-up.
+func (s *System) pickNext() (next, runnerUp *coreState) {
+	for _, cs := range s.cores {
+		if cs.done || cs.tr == nil {
+			continue
+		}
+		switch {
+		case next == nil:
+			next = cs
+		case cs.core.Now() < next.core.Now():
+			next, runnerUp = cs, next
+		case runnerUp == nil || cs.core.Now() < runnerUp.core.Now():
+			runnerUp = cs
+		}
+	}
+	return next, runnerUp
+}
+
+// stillEarliest reports whether a fresh scan would pick next again: it
+// still strictly beats the runner-up, or ties it with a lower index.
+func stillEarliest(next, runnerUp *coreState) bool {
+	if runnerUp == nil {
+		return true
+	}
+	a, b := next.core.Now(), runnerUp.core.Now()
+	return a < b || (a == b && next.id < runnerUp.id)
+}
+
 // Run drives all cores until each has executed warmup+measure instructions,
 // interleaving them by current cycle time so contention is modeled, and
 // returns the measured-phase results.
 func (s *System) Run() Result {
 	warm := s.cfg.WarmupInstructions
 	total := warm + s.cfg.MeasureInstructions
-	for {
-		// Pick the core with the earliest clock among unfinished cores.
-		var next *coreState
-		for _, cs := range s.cores {
-			if cs.done || cs.tr == nil {
-				continue
-			}
-			if next == nil || cs.core.Now() < next.core.Now() {
-				next = cs
-			}
-		}
-		if next == nil {
-			break
-		}
+	next, runnerUp := s.pickNext()
+	for next != nil {
 		if !next.measured && next.core.Instructions() >= warm {
 			next.warmBase = s.snapshotCore(next)
 			next.measured = true
@@ -315,11 +337,20 @@ func (s *System) Run() Result {
 			s.telemetryFinish(next)
 			next.final = s.snapshotCore(next)
 			next.done = true
+			next, runnerUp = s.pickNext()
 			continue
 		}
 		if !s.step(next) {
 			s.telemetryFinish(next)
 			next.final = s.snapshotCore(next)
+			if !next.measured {
+				// The trace exhausted before warmup completed, so the
+				// measured window never opened: snapshot the baseline at
+				// the end too, or collect() would subtract a zero
+				// baseline and report the warmup activity as measured.
+				next.warmBase = next.final
+				next.measured = true
+			}
 			next.done = true
 		}
 		if s.cfg.Audit != nil {
@@ -327,6 +358,9 @@ func (s *System) Run() Result {
 		}
 		if s.cfg.Telemetry != nil {
 			s.telemetryTick(next)
+		}
+		if next.done || !stillEarliest(next, runnerUp) {
+			next, runnerUp = s.pickNext()
 		}
 	}
 	if s.cfg.Audit != nil {

@@ -3,6 +3,8 @@ package sim
 import (
 	"testing"
 
+	"streamline/internal/cache"
+	"streamline/internal/mem"
 	"streamline/internal/prefetch"
 	"streamline/internal/prefetch/stride"
 	"streamline/internal/trace"
@@ -31,6 +33,45 @@ func traceFor(t *testing.T, name string, seed int64) trace.Trace {
 }
 
 func strideFactory() prefetch.Prefetcher { return stride.New(stride.DefaultConfig) }
+
+// oneShotTrace yields its records once; Reset does not rewind, modeling a
+// source that cannot replay (e.g. a stream whose rewind failed).
+type oneShotTrace struct {
+	recs []trace.Record
+	pos  int
+}
+
+func (o *oneShotTrace) Next() (trace.Record, bool) {
+	if o.pos >= len(o.recs) {
+		return trace.Record{}, false
+	}
+	r := o.recs[o.pos]
+	o.pos++
+	return r, true
+}
+
+func (o *oneShotTrace) Reset() {}
+
+func TestTraceExhaustedBeforeWarmup(t *testing.T) {
+	// A trace that dies before warmup completes never opens the measured
+	// window; the result must be empty, not the warmup activity reported
+	// against a zero baseline.
+	cfg := smallConfig(1)
+	sys := New(cfg)
+	recs := make([]trace.Record, 1000) // far fewer than WarmupInstructions
+	for i := range recs {
+		recs[i] = trace.Record{PC: 1, Addr: mem.Addr(i * 64)}
+	}
+	res := sys.RunTrace(&oneShotTrace{recs: recs})
+	c := res.Cores[0]
+	if c.Instructions != 0 || c.Cycles != 0 {
+		t.Errorf("truncated trace reported a measured window: %d instructions, %d cycles",
+			c.Instructions, c.Cycles)
+	}
+	if c.L1D != (cache.Stats{}) || c.L2 != (cache.Stats{}) {
+		t.Errorf("truncated trace reported measured cache stats: L1D=%+v L2=%+v", c.L1D, c.L2)
+	}
+}
 
 func TestBaselineRunsProduceSaneIPC(t *testing.T) {
 	for _, name := range []string{"libquantum06", "sphinx06", "pr"} {
