@@ -81,13 +81,20 @@ func init() {
 			for _, arm := range variants {
 				var cov, acc, spd []float64
 				for _, w := range ws {
-					b := r.Run(base, w.Name)
-					res := r.Run(arm, w.Name)
+					b, okB := r.TryRun(base, w.Name)
+					res, okA := r.TryRun(arm, w.Name)
+					if !okB || !okA {
+						continue // gapped workload: excluded from this arm's means
+					}
 					cov = append(cov, Coverage(b, res))
 					spd = append(spd, Speedup(b, res))
 					if res.Cores[0].L2.PrefetchFills > 0 {
 						acc = append(acc, Accuracy(res))
 					}
+				}
+				if len(cov) == 0 {
+					t.AddRow(arm.Name, GapCell, GapCell, GapCell)
+					continue
 				}
 				t.AddRow(arm.Name, Pct(Mean(cov)), Pct(Mean(acc)), F(Geomean(spd)))
 			}
@@ -129,11 +136,19 @@ func init() {
 					var spd, cov []float64
 					var filtered uint64
 					for _, w := range ws {
-						b := r.Run(base, w.Name)
-						res := r.Run(arm, w.Name)
+						b, okB := r.TryRun(base, w.Name)
+						res, okA := r.TryRun(arm, w.Name)
+						if !okB || !okA {
+							continue // gapped workload: excluded from this arm's means
+						}
 						spd = append(spd, Speedup(b, res))
 						cov = append(cov, Coverage(b, res))
 						filtered += res.Cores[0].Meta.FilteredInserts
+					}
+					if len(spd) == 0 {
+						t.AddRow(arm.Name, fmt.Sprintf("%dKB", sz>>10),
+							GapCell, GapCell, GapCell)
+						continue
 					}
 					t.AddRow(arm.Name, fmt.Sprintf("%dKB", sz>>10),
 						Pct(Mean(cov)), F(Geomean(spd)), fmt.Sprint(filtered))

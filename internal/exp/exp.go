@@ -11,6 +11,7 @@ package exp
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -19,10 +20,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"streamline/internal/audit"
 	"streamline/internal/core"
 	"streamline/internal/exp/runner"
+	"streamline/internal/exp/store"
 	"streamline/internal/meta"
 	"streamline/internal/prefetch"
 	"streamline/internal/prefetch/berti"
@@ -85,6 +88,20 @@ var Small = Scale{
 	Seed:      12345,
 }
 
+// Micro is the minimal sizing: the Small hierarchy with two workloads and
+// tiny instruction budgets, so a full `-run all` sweep finishes in minutes
+// on one core. It exists for the test suite and the crash-injection
+// harness (`-scale micro`), not for reproducing numbers.
+var Micro = func() Scale {
+	sc := Small
+	sc.Name = "micro"
+	sc.Workloads = []string{"sphinx06", "libquantum06"}
+	sc.Warmup = 40_000
+	sc.Measure = 120_000
+	sc.MixCount = 1
+	return sc
+}()
+
 // Paper is the Table II sizing with full synthetic footprints.
 var Paper = Scale{
 	Name:      "paper",
@@ -97,6 +114,17 @@ var Paper = Scale{
 	Measure:   12_000_000,
 	MixCount:  12,
 	Seed:      12345,
+}
+
+// Fingerprint canonically encodes every sizing parameter of the scale. The
+// result store records it in each sweep's manifest and mixes it into every
+// job key, so cached results are only ever replayed under the exact scale
+// that produced them.
+func (sc Scale) Fingerprint() string {
+	return fmt.Sprintf("scale-v1|%s|%g|%d|%d|%d|%d|%d|%d|%s|%d|%g|%d",
+		sc.Name, sc.Footprint, sc.L2Sets, sc.LLCSets, sc.MetaBytes, sc.MinSets,
+		sc.Warmup, sc.Measure, strings.Join(sc.Workloads, ","), sc.MixCount,
+		sc.Bandwidth, sc.Seed)
 }
 
 // workloadList resolves the scale's workload subset.
@@ -254,6 +282,21 @@ type Runner struct {
 	// SampleInterval is the measured instructions between telemetry samples
 	// per core; zero means a tenth of the scale's measured window.
 	SampleInterval uint64
+	// Store, when non-nil, persists every completed simulation result and
+	// replays validated cached results instead of recomputing (the
+	// -checkpoint/-resume machinery). Replayed results are re-validated
+	// against their content hash; simulations are deterministic, so a
+	// resumed sweep's tables are byte-identical to an uninterrupted run.
+	Store *store.Store
+	// Fault bounds each simulation job: per-attempt timeout, bounded
+	// retry with backoff, and panic isolation. With the zero value a
+	// panicking arm still degrades to a recorded gap instead of aborting
+	// the sweep (see Failures).
+	Fault runner.FaultPolicy
+	// FailKey, when non-empty, makes any job whose key contains it panic
+	// at the start of its computation — the fault-injection hook behind
+	// the EXPERIMENTS_FAIL_KEY harness and the degradation tests.
+	FailKey string
 
 	logMu   sync.Mutex
 	mu      sync.Mutex
@@ -265,20 +308,29 @@ type Runner struct {
 
 	telMu  sync.Mutex
 	telErr error
+
+	fails    *failureLog
+	resumed  atomic.Int64
+	storeMu  sync.Mutex
+	storeErr error
 }
 
-// memoEntry single-flights one simulation result.
+// memoEntry single-flights one simulation result. A failed job memoizes its
+// error: res stays the zero Result (the gap value) and err records why.
 type memoEntry struct {
 	once sync.Once
 	res  sim.Result
+	err  error
 }
 
 // sysMemoEntry single-flights a simulation that also retains its system for
-// prefetcher-internal inspection. The system is read-only after the run.
+// prefetcher-internal inspection. The system is read-only after the run;
+// on failure sys is nil and err records why.
 type sysMemoEntry struct {
 	once sync.Once
 	res  sim.Result
 	sys  *sim.System
+	err  error
 }
 
 // NewRunner returns a runner at the given scale.
@@ -287,7 +339,138 @@ func NewRunner(sc Scale) *Runner {
 		Scale:   sc,
 		memo:    make(map[string]*memoEntry),
 		sysMemo: make(map[string]*sysMemoEntry),
+		fails:   newFailureLog(),
 	}
+}
+
+// Derived returns a runner at a modified scale that shares this runner's
+// pool sizing, progress sinks, fault policy, result store, and failure log
+// — for studies that rerun arms under a perturbed scale (fig13c's
+// capacity-pressured runner). Store keys embed the scale fingerprint, so
+// the two runners' records never collide.
+func (r *Runner) Derived(sc Scale) *Runner {
+	nr := NewRunner(sc)
+	nr.Progress = r.Progress
+	nr.Jobs = r.Jobs
+	nr.JobProgress = r.JobProgress
+	nr.Store = r.Store
+	nr.Fault = r.Fault
+	nr.FailKey = r.FailKey
+	nr.fails = r.fails
+	return nr
+}
+
+// ---- failure accounting ---------------------------------------------------
+
+// JobFailure records one permanently failed job: its result is a
+// zero-valued gap in every table that consumes it.
+type JobFailure struct {
+	Key string
+	Err error
+}
+
+// failureLog accumulates failed job keys. It is shared between a runner and
+// its Derived runners so a sweep's degradation summary is complete.
+type failureLog struct {
+	mu      sync.Mutex
+	order   []JobFailure
+	keys    map[string]bool
+	drained int
+}
+
+func newFailureLog() *failureLog { return &failureLog{keys: make(map[string]bool)} }
+
+func (l *failureLog) add(key string, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.keys[key] {
+		return
+	}
+	l.keys[key] = true
+	l.order = append(l.order, JobFailure{Key: key, Err: err})
+}
+
+func (l *failureLog) has(key string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.keys[key]
+}
+
+// sortedCopy returns fails sorted by key: recording order follows pool
+// scheduling and is not deterministic, the sorted view is.
+func sortedCopy(fails []JobFailure) []JobFailure {
+	out := append([]JobFailure(nil), fails...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Failures returns every failure recorded so far, sorted by job key.
+func (r *Runner) Failures() []JobFailure {
+	r.fails.mu.Lock()
+	defer r.fails.mu.Unlock()
+	return sortedCopy(r.fails.order)
+}
+
+// DrainFailures returns the failures recorded since the previous drain,
+// sorted by job key. cmd/experiments calls it after each experiment to
+// annotate that experiment's tables with its gaps.
+func (r *Runner) DrainFailures() []JobFailure {
+	r.fails.mu.Lock()
+	defer r.fails.mu.Unlock()
+	newFails := r.fails.order[r.fails.drained:]
+	r.fails.drained = len(r.fails.order)
+	return sortedCopy(newFails)
+}
+
+// Gapped reports whether the job with this key failed permanently. For
+// simulation jobs it answers only after the sim was attempted (Precompute
+// or a direct Run), which every experiment does before aggregating.
+func (r *Runner) Gapped(key string) bool { return r.fails.has(key) }
+
+// GapRun reports whether a single-workload simulation is a gap.
+func (r *Runner) GapRun(arm Arm, workload string) bool {
+	return r.GapMix(arm, []string{workload}, 1, 0)
+}
+
+// GapMix reports whether a mix simulation is a gap.
+func (r *Runner) GapMix(arm Arm, mix []string, cores int, bwFactor float64) bool {
+	return r.fails.has(simKey(arm, mix, cores, bwFactor))
+}
+
+// GapCell is the table cell marking a value whose simulation failed.
+const GapCell = "GAP"
+
+// AnnotateGaps appends one deterministic note per failed job to the first
+// table, so a degraded sweep's output explicitly marks what is missing.
+func AnnotateGaps(tables []Table, fails []JobFailure) {
+	if len(tables) == 0 || len(fails) == 0 {
+		return
+	}
+	for _, f := range fails {
+		tables[0].Notes = append(tables[0].Notes,
+			fmt.Sprintf("GAP: job %q failed: %v", f.Key, f.Err))
+	}
+}
+
+// ResumedJobs returns how many simulations were replayed from the store
+// instead of recomputed.
+func (r *Runner) ResumedJobs() int { return int(r.resumed.Load()) }
+
+func (r *Runner) storeFail(err error) {
+	r.storeMu.Lock()
+	if r.storeErr == nil {
+		r.storeErr = err
+	}
+	r.storeMu.Unlock()
+}
+
+// StoreErr returns the first store I/O error encountered, or nil. A store
+// write failure does not fail the simulation that produced the result, but
+// the sweep must report it: the checkpoint is incomplete.
+func (r *Runner) StoreErr() error {
+	r.storeMu.Lock()
+	defer r.storeMu.Unlock()
+	return r.storeErr
 }
 
 func (r *Runner) logf(format string, args ...any) {
@@ -303,25 +486,93 @@ func (r *Runner) Run(arm Arm, workload string) sim.Result {
 	return r.RunMix(arm, []string{workload}, 1, 0)
 }
 
+// TryRun is Run reporting success (see TryRunMix).
+func (r *Runner) TryRun(arm Arm, workload string) (sim.Result, bool) {
+	return r.TryRunMix(arm, []string{workload}, 1, 0)
+}
+
 func simKey(arm Arm, mix []string, cores int, bwFactor float64) string {
 	return fmt.Sprintf("%s|%s|%d|%.3f", arm.Name, strings.Join(mix, ","), cores, bwFactor)
 }
 
 // RunMix executes one arm on a multi-programmed mix. bwFactor scales DRAM
-// bandwidth when nonzero (Figure 10c).
+// bandwidth when nonzero (Figure 10c). A permanently failed simulation
+// (panic, exhausted retries, timeout) returns the zero Result — the gap
+// value — and records a JobFailure; callers that must distinguish use
+// TryRunMix or GapMix.
 func (r *Runner) RunMix(arm Arm, mix []string, cores int, bwFactor float64) sim.Result {
+	res, _ := r.TryRunMix(arm, mix, cores, bwFactor)
+	return res
+}
+
+// TryRunMix is RunMix reporting success: ok is false when the simulation
+// failed permanently under the fault policy (res is then the zero Result).
+func (r *Runner) TryRunMix(arm Arm, mix []string, cores int, bwFactor float64) (res sim.Result, ok bool) {
 	key := simKey(arm, mix, cores, bwFactor)
 	r.mu.Lock()
-	e, ok := r.memo[key]
-	if !ok {
+	e, found := r.memo[key]
+	if !found {
 		e = &memoEntry{}
 		r.memo[key] = e
 	}
 	r.mu.Unlock()
 	e.once.Do(func() {
-		e.res = r.computeMix(arm, mix, cores, bwFactor)
+		e.res, e.err = r.computeOrReplay(key, arm, mix, cores, bwFactor)
+		if e.err != nil {
+			r.fails.add(key, e.err)
+		}
 	})
-	return e.res
+	return e.res, e.err == nil
+}
+
+// computeOrReplay returns the stored result for key when the store holds a
+// validated record for it, and otherwise computes the simulation under the
+// fault policy and checkpoints the result. Replay is sound because a
+// simulation is a pure function of (scale, arm, mix, cores, bwFactor) and
+// the store key hashes all of them.
+func (r *Runner) computeOrReplay(key string, arm Arm, mix []string, cores int, bwFactor float64) (sim.Result, error) {
+	sk := r.storeKey(key)
+	if r.Store != nil {
+		if payload, found := r.Store.Get(sk); found {
+			var res sim.Result
+			if err := json.Unmarshal(payload, &res); err == nil {
+				r.resumed.Add(1)
+				r.logf("  [cached] %s\n", key)
+				return res, nil
+			}
+			// An undecodable payload behaves like a missing record:
+			// recompute rather than replay anything questionable.
+		}
+	}
+	res, err := runner.Execute(context.Background(), r.Fault, nil, key,
+		func(context.Context) (sim.Result, error) {
+			r.maybeInjectFailure(key)
+			return r.computeMix(arm, mix, cores, bwFactor), nil
+		})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if r.Store != nil {
+		if perr := r.Store.Put(sk, key, res); perr != nil {
+			r.storeFail(perr)
+		}
+	}
+	return res, nil
+}
+
+// storeKey derives the content-addressed store key for a simulation memo
+// key: the scale fingerprint is mixed in so runners at different scales
+// (fig13c's pressured Derived runner) can share one store without collisions.
+func (r *Runner) storeKey(key string) string {
+	return store.Key("simresult", r.Scale.Fingerprint(), key)
+}
+
+// maybeInjectFailure panics when fault injection targets this job — the
+// hook behind FailKey and the EXPERIMENTS_FAIL_KEY harness.
+func (r *Runner) maybeInjectFailure(key string) {
+	if r.FailKey != "" && strings.Contains(key, r.FailKey) {
+		panic(fmt.Sprintf("injected failure for job %q (fail key %q)", key, r.FailKey))
+	}
 }
 
 // computeMix builds a fresh system and runs the simulation. Everything it
@@ -449,7 +700,10 @@ func (r *Runner) AuditSummary(w io.Writer) int {
 }
 
 // runSystem single-flights a system-retaining simulation under the given
-// memo key.
+// memo key. These runs are never replayed from the store — a *sim.System
+// cannot be serialized — but they are deterministic, so recomputing them on
+// resume still yields byte-identical output. They do run under the fault
+// policy: on permanent failure the system is nil and callers must degrade.
 func (r *Runner) runSystem(key string, compute func() (sim.Result, *sim.System)) (sim.Result, *sim.System) {
 	r.mu.Lock()
 	e, ok := r.sysMemo[key]
@@ -459,7 +713,22 @@ func (r *Runner) runSystem(key string, compute func() (sim.Result, *sim.System))
 	}
 	r.mu.Unlock()
 	e.once.Do(func() {
-		e.res, e.sys = compute()
+		type out struct {
+			res sim.Result
+			sys *sim.System
+		}
+		o, err := runner.Execute(context.Background(), r.Fault, nil, key,
+			func(context.Context) (out, error) {
+				r.maybeInjectFailure(key)
+				res, sys := compute()
+				return out{res, sys}, nil
+			})
+		if err != nil {
+			e.err = err
+			r.fails.add(key, err)
+			return
+		}
+		e.res, e.sys = o.res, o.sys
 	})
 	return e.res, e.sys
 }
@@ -576,32 +845,47 @@ func (r *Runner) sysMemoized(key string) bool {
 	return r.sysMemo[key] != nil
 }
 
+// runJobs drives precomputation jobs through the continue-on-error pool:
+// the jobs themselves absorb simulation failures (RunMix memoizes a gap),
+// so pool-level errors are unexpected — but if one occurs it is recorded as
+// a gap rather than aborting the sweep.
 func (r *Runner) runJobs(jobs []runner.Job[struct{}]) {
 	if len(jobs) == 0 {
 		return
 	}
 	opts := runner.Options{Workers: r.Jobs, Progress: r.JobProgress}
-	if _, err := runner.Run(context.Background(), opts, jobs); err != nil {
-		panic(err)
+	_, errs := runner.RunAll(context.Background(), opts, jobs)
+	for i, err := range errs {
+		if err != nil {
+			r.fails.add(jobs[i].Key, err)
+		}
 	}
 }
 
 // ParallelMap runs fn over items on the runner's worker pool and returns the
 // results in item order, so aggregation stays deterministic. key labels each
-// job in progress output. fn must not touch shared mutable state.
+// job in progress output. fn must not touch shared mutable state. A
+// panicking fn degrades to a zero-valued result and a recorded JobFailure
+// (check r.Gapped(key) when aggregating) instead of aborting the run.
 func ParallelMap[T, R any](r *Runner, items []T, key func(T) string, fn func(T) R) []R {
 	jobs := make([]runner.Job[R], len(items))
 	for i, it := range items {
 		it := it
+		k := key(it)
 		jobs[i] = runner.Job[R]{
-			Key: key(it),
-			Run: func(context.Context) (R, error) { return fn(it), nil },
+			Key: k,
+			Run: func(context.Context) (R, error) {
+				r.maybeInjectFailure(k)
+				return fn(it), nil
+			},
 		}
 	}
 	opts := runner.Options{Workers: r.Jobs, Progress: r.JobProgress}
-	res, err := runner.Run(context.Background(), opts, jobs)
-	if err != nil {
-		panic(err)
+	res, errs := runner.RunAll(context.Background(), opts, jobs)
+	for i, err := range errs {
+		if err != nil {
+			r.fails.add(jobs[i].Key, err)
+		}
 	}
 	return res
 }

@@ -28,9 +28,17 @@ func suiteSpeedups(r *Runner, id, title string, ws []workloads.Workload, base, t
 	groups := map[workloads.Suite]*group{}
 	var allT, allS, irrT, irrS []float64
 	for _, w := range ws {
-		b := r.Run(base, w.Name)
-		rt := Speedup(b, r.Run(tri, w.Name))
-		rs := Speedup(b, r.Run(str, w.Name))
+		b, okB := r.TryRun(base, w.Name)
+		resT, okT := r.TryRun(tri, w.Name)
+		resS, okS := r.TryRun(str, w.Name)
+		if !okB || !okT || !okS {
+			// A failed arm leaves an explicit gap; the workload is excluded
+			// from every aggregate below so the means stay meaningful.
+			t.AddRow(w.Name, string(w.Suite), GapCell, GapCell, GapCell)
+			continue
+		}
+		rt := Speedup(b, resT)
+		rs := Speedup(b, resS)
 		t.AddRow(w.Name, string(w.Suite), F(rt), F(rs), fmt.Sprintf("%+.1f", (rs-rt)*100))
 		g := groups[w.Suite]
 		if g == nil {
@@ -91,9 +99,18 @@ func init() {
 				var ts, ss []float64
 				for _, m := range mixes {
 					names := workloads.Names(m.Members)
-					b := r.RunMix(base, names, cores, 0)
-					ts = append(ts, ThroughputSpeedup(b, r.RunMix(tri, names, cores, 0)))
-					ss = append(ss, ThroughputSpeedup(b, r.RunMix(str, names, cores, 0)))
+					b, okB := r.TryRunMix(base, names, cores, 0)
+					resT, okT := r.TryRunMix(tri, names, cores, 0)
+					resS, okS := r.TryRunMix(str, names, cores, 0)
+					if !okB || !okT || !okS {
+						continue // gapped mix: excluded from the geomean
+					}
+					ts = append(ts, ThroughputSpeedup(b, resT))
+					ss = append(ss, ThroughputSpeedup(b, resS))
+				}
+				if len(ts) == 0 {
+					t.AddRow(fmt.Sprint(cores), GapCell, GapCell, GapCell)
+					continue
 				}
 				gt, gs := Geomean(ts), Geomean(ss)
 				t.AddRow(fmt.Sprint(cores), F(gt), F(gs), fmt.Sprintf("%+.1f", (gs-gt)*100))
@@ -109,20 +126,31 @@ func init() {
 			r.Precompute(MixSims([]Arm{base, tri, str}, mixes, 4, 0))
 			t := Table{ID: "fig10b", Title: "4-core mixes: Streamline vs Triangel",
 				Columns: []string{"mix", "triangel", "streamline", "winner"}}
-			wins := 0
+			wins, scored := 0, 0
 			for _, m := range mixes {
 				names := workloads.Names(m.Members)
-				b := r.RunMix(base, names, 4, 0)
-				st := ThroughputSpeedup(b, r.RunMix(tri, names, 4, 0))
-				ss := ThroughputSpeedup(b, r.RunMix(str, names, 4, 0))
+				b, okB := r.TryRunMix(base, names, 4, 0)
+				resT, okT := r.TryRunMix(tri, names, 4, 0)
+				resS, okS := r.TryRunMix(str, names, 4, 0)
+				if !okB || !okT || !okS {
+					t.AddRow(fmt.Sprintf("mix%02d", m.ID), GapCell, GapCell, GapCell)
+					continue
+				}
+				st := ThroughputSpeedup(b, resT)
+				ss := ThroughputSpeedup(b, resS)
 				winner := "triangel"
 				if ss >= st {
 					winner = "streamline"
 					wins++
 				}
+				scored++
 				t.AddRow(fmt.Sprintf("mix%02d", m.ID), F(st), F(ss), winner)
 			}
-			t.AddRow("win-rate", "", "", Pct(float64(wins)/float64(len(mixes))))
+			if scored == 0 {
+				t.AddRow("win-rate", "", "", GapCell)
+			} else {
+				t.AddRow("win-rate", "", "", Pct(float64(wins)/float64(scored)))
+			}
 			t.Notes = append(t.Notes, "paper: Streamline wins 77% of 4-core mixes")
 			return []Table{t}
 		}})
@@ -143,9 +171,18 @@ func init() {
 				var ts, ss []float64
 				for _, m := range mixes {
 					names := workloads.Names(m.Members)
-					b := r.RunMix(base, names, 4, bw)
-					ts = append(ts, ThroughputSpeedup(b, r.RunMix(tri, names, 4, bw)))
-					ss = append(ss, ThroughputSpeedup(b, r.RunMix(str, names, 4, bw)))
+					b, okB := r.TryRunMix(base, names, 4, bw)
+					resT, okT := r.TryRunMix(tri, names, 4, bw)
+					resS, okS := r.TryRunMix(str, names, 4, bw)
+					if !okB || !okT || !okS {
+						continue // gapped mix: excluded from the geomean
+					}
+					ts = append(ts, ThroughputSpeedup(b, resT))
+					ss = append(ss, ThroughputSpeedup(b, resS))
+				}
+				if len(ts) == 0 {
+					t.AddRow(fmt.Sprintf("%.2fx", bw), GapCell, GapCell, GapCell)
+					continue
 				}
 				gt, gs := Geomean(ts), Geomean(ss)
 				t.AddRow(fmt.Sprintf("%.2fx", bw), F(gt), F(gs),
@@ -164,9 +201,13 @@ func init() {
 				Columns: []string{"workload", "tri-cov", "str-cov", "tri-acc", "str-acc"}}
 			var tc, sc, ta, sa []float64
 			for _, w := range r.Scale.workloadList() {
-				b := r.Run(base, w.Name)
-				rt := r.Run(tri, w.Name)
-				rs := r.Run(str, w.Name)
+				b, okB := r.TryRun(base, w.Name)
+				rt, okT := r.TryRun(tri, w.Name)
+				rs, okS := r.TryRun(str, w.Name)
+				if !okB || !okT || !okS {
+					t.AddRow(w.Name, GapCell, GapCell, GapCell, GapCell)
+					continue
+				}
 				ct, cs := Coverage(b, rt), Coverage(b, rs)
 				at, as := Accuracy(rt), Accuracy(rs)
 				t.AddRow(w.Name, Pct(ct), Pct(cs), Pct(at), Pct(as))
@@ -209,9 +250,18 @@ func init() {
 				tri, str := degArms[deg][0], degArms[deg][1]
 				var ts, ss []float64
 				for _, w := range ws {
-					b := r.Run(base, w.Name)
-					ts = append(ts, Speedup(b, r.Run(tri, w.Name)))
-					ss = append(ss, Speedup(b, r.Run(str, w.Name)))
+					b, okB := r.TryRun(base, w.Name)
+					resT, okT := r.TryRun(tri, w.Name)
+					resS, okS := r.TryRun(str, w.Name)
+					if !okB || !okT || !okS {
+						continue // gapped workload: excluded from the geomean
+					}
+					ts = append(ts, Speedup(b, resT))
+					ss = append(ss, Speedup(b, resS))
+				}
+				if len(ts) == 0 {
+					t.AddRow(fmt.Sprint(deg), GapCell, GapCell)
+					continue
 				}
 				t.AddRow(fmt.Sprint(deg), F(Geomean(ts)), F(Geomean(ss)))
 			}
@@ -244,9 +294,18 @@ func init() {
 				var ts, ss []float64
 				for _, m := range mixes {
 					names := workloads.Names(m.Members)
-					b := r.RunMix(base, names, cores, 0)
-					ts = append(ts, ThroughputSpeedup(b, r.RunMix(tri, names, cores, 0)))
-					ss = append(ss, ThroughputSpeedup(b, r.RunMix(str, names, cores, 0)))
+					b, okB := r.TryRunMix(base, names, cores, 0)
+					resT, okT := r.TryRunMix(tri, names, cores, 0)
+					resS, okS := r.TryRunMix(str, names, cores, 0)
+					if !okB || !okT || !okS {
+						continue // gapped mix: excluded from the geomean
+					}
+					ts = append(ts, ThroughputSpeedup(b, resT))
+					ss = append(ss, ThroughputSpeedup(b, resS))
+				}
+				if len(ts) == 0 {
+					multi.AddRow(fmt.Sprint(cores), GapCell, GapCell, GapCell)
+					continue
 				}
 				gt, gs := Geomean(ts), Geomean(ss)
 				multi.AddRow(fmt.Sprint(cores), F(gt), F(gs), fmt.Sprintf("%+.1f", (gs-gt)*100))
@@ -279,15 +338,23 @@ func init() {
 				base, tri, str := l2Arms[l2][0], l2Arms[l2][1], l2Arms[l2][2]
 				var bs, ts, ss, tcov, scov []float64
 				for _, w := range ws {
-					p := r.Run(plain, w.Name)
-					b := r.Run(base, w.Name)
-					rt := r.Run(tri, w.Name)
-					rs := r.Run(str, w.Name)
+					p, okP := r.TryRun(plain, w.Name)
+					b, okB := r.TryRun(base, w.Name)
+					rt, okT := r.TryRun(tri, w.Name)
+					rs, okS := r.TryRun(str, w.Name)
+					if !okP || !okB || !okT || !okS {
+						continue // gapped workload: excluded from both aggregates
+					}
 					bs = append(bs, Speedup(p, b))
 					ts = append(ts, Speedup(p, rt))
 					ss = append(ss, Speedup(p, rs))
 					tcov = append(tcov, Coverage(b, rt))
 					scov = append(scov, Coverage(b, rs))
+				}
+				if len(bs) == 0 {
+					t.AddRow(l2, GapCell, GapCell, GapCell)
+					cov.AddRow(l2, GapCell, GapCell)
+					continue
 				}
 				t.AddRow(l2, F(Geomean(bs)), F(Geomean(ts)), F(Geomean(ss)))
 				cov.AddRow(l2, Pct(Mean(tcov)), Pct(Mean(scov)))

@@ -1,0 +1,179 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"streamline/internal/exp/store"
+)
+
+func resumeManifest(sc Scale) store.Manifest {
+	return store.Manifest{Version: store.Version, ScaleName: sc.Name,
+		ScaleFP: sc.Fingerprint(), Seed: sc.Seed}
+}
+
+// renderWithRunner runs one experiment on the given runner and returns the
+// rendered tables plus any annotated gaps — exactly what cmd/experiments
+// prints for it.
+func renderWithRunner(t *testing.T, r *Runner, id string) string {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q missing", id)
+	}
+	tables := e.Run(r)
+	AnnotateGaps(tables, r.DrainFailures())
+	var sb strings.Builder
+	for _, tb := range tables {
+		sb.WriteString(tb.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// TestStoreResumeByteIdentical: the same experiment rendered three ways —
+// without a store, populating a fresh store, and replaying from that store —
+// must be byte-identical, and the replay must come from cache, not recompute.
+func TestStoreResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs micro-scale simulations")
+	}
+	sc := Micro
+	const id = "fig9"
+
+	plain := renderWithRunner(t, NewRunner(sc), id)
+
+	dir := t.TempDir()
+	st, err := store.Create(dir, resumeManifest(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := NewRunner(sc)
+	r1.Store = st
+	first := renderWithRunner(t, r1, id)
+	if first != plain {
+		t.Errorf("storing results changed the rendered output:\n--- plain ---\n%s\n--- stored ---\n%s", plain, first)
+	}
+	if st.Len() == 0 {
+		t.Fatal("no results persisted to the store")
+	}
+	stored := st.Len()
+	if r1.ResumedJobs() != 0 {
+		t.Errorf("fresh run replayed %d jobs from an empty store", r1.ResumedJobs())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir, resumeManifest(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Loaded() != stored {
+		t.Fatalf("reopened store holds %d records, want %d", st2.Loaded(), stored)
+	}
+	r2 := NewRunner(sc)
+	r2.Store = st2
+	resumed := renderWithRunner(t, r2, id)
+	if resumed != plain {
+		t.Errorf("resumed output differs from the uninterrupted run:\n--- plain ---\n%s\n--- resumed ---\n%s", plain, resumed)
+	}
+	if r2.ResumedJobs() != stored {
+		t.Errorf("replayed %d jobs from cache, want all %d", r2.ResumedJobs(), stored)
+	}
+	if err := r2.StoreErr(); err != nil {
+		t.Errorf("store error during resume: %v", err)
+	}
+}
+
+// TestStoreScaleMismatch: a store checkpointed at one scale must refuse a
+// runner at another — replaying results across scales would silently produce
+// wrong tables.
+func TestStoreScaleMismatch(t *testing.T) {
+	sc := Micro
+	dir := t.TempDir()
+	st, err := store.Create(dir, resumeManifest(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	other := sc
+	other.Seed = sc.Seed + 1
+	if _, err := store.Open(dir, resumeManifest(other)); err == nil {
+		t.Error("store opened under a mismatched seed")
+	}
+	other = sc
+	other.Footprint = sc.Footprint * 2
+	if _, err := store.Open(dir, resumeManifest(other)); err == nil {
+		t.Error("store opened under a mismatched scale fingerprint")
+	}
+}
+
+// TestFailKeyDegradesToGap: with an injected per-job failure the experiment
+// still completes, the failed cell renders as GAP, the failure is reported
+// once via DrainFailures, and unaffected rows match the clean run.
+func TestFailKeyDegradesToGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs micro-scale simulations")
+	}
+	sc := Micro
+	const id = "fig9"
+	failKey := "triangel|" + sc.Workloads[0]
+
+	clean := renderWithRunner(t, NewRunner(sc), id)
+	if strings.Contains(clean, GapCell) {
+		t.Fatalf("clean run already contains %s cells", GapCell)
+	}
+
+	r := NewRunner(sc)
+	r.FailKey = failKey
+	e, _ := ByID(id)
+	tables := e.Run(r)
+	fails := r.DrainFailures()
+	if len(fails) == 0 {
+		t.Fatal("injected failure was not recorded")
+	}
+	for _, f := range fails {
+		if !strings.Contains(f.Key, failKey) {
+			t.Errorf("unexpected failure %q (injected only %q)", f.Key, failKey)
+		}
+	}
+	AnnotateGaps(tables, fails)
+	var sb strings.Builder
+	for _, tb := range tables {
+		sb.WriteString(tb.String())
+		sb.WriteString("\n")
+	}
+	out := sb.String()
+	if !strings.Contains(out, GapCell) {
+		t.Errorf("failed job did not surface as a %s cell:\n%s", GapCell, out)
+	}
+	if !strings.Contains(out, "GAP: job") {
+		t.Errorf("gap note missing from annotated tables:\n%s", out)
+	}
+
+	// Rows not touched by the failure must be unchanged: every line of the
+	// degraded output either appears verbatim in the clean output, mentions
+	// the gap, or is an aggregate (geomeans legitimately shift when the
+	// failed sample is excluded).
+	cleanLines := map[string]bool{}
+	for _, line := range strings.Split(clean, "\n") {
+		cleanLines[line] = true
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, GapCell) || strings.Contains(line, "GAP: job") ||
+			strings.Contains(line, "geomean") {
+			continue
+		}
+		if !cleanLines[line] {
+			t.Errorf("line changed outside the gapped cell: %q", line)
+		}
+	}
+
+	// A second drain reports nothing new.
+	if extra := r.DrainFailures(); len(extra) != 0 {
+		t.Errorf("DrainFailures not idempotent: %v", extra)
+	}
+}

@@ -1,0 +1,134 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file is the per-job fault policy: panic isolation, per-attempt
+// timeout, and bounded retry with exponential backoff. Execute is the single
+// entry point; the worker pool routes every job through it, and
+// internal/exp's memoized simulation paths call it directly so serial
+// aggregation enjoys the same isolation as pooled precomputation.
+
+// FaultPolicy bounds how a single job may fail.
+type FaultPolicy struct {
+	// Timeout bounds one attempt's wall clock; zero means unbounded. A
+	// timed-out attempt is abandoned (its goroutine is orphaned — jobs
+	// need not observe ctx) and reported as a permanent *TimeoutError:
+	// a job that hung once is assumed to hang again, so it is not retried.
+	Timeout time.Duration
+	// Retries is how many additional attempts a transiently failing job
+	// gets after its first. Permanent failures (panics, timeouts,
+	// Permanent-wrapped errors) are never retried.
+	Retries int
+	// Backoff is the pause before the first retry, doubling per retry.
+	Backoff time.Duration
+}
+
+// Clock abstracts time for the fault machinery so tests inject a fake and
+// script timeout/backoff behavior deterministically. The zero value of
+// Options uses the real clock.
+type Clock interface {
+	After(d time.Duration) <-chan time.Time
+	Sleep(d time.Duration)
+}
+
+type realClock struct{}
+
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+
+// TimeoutError reports an attempt exceeding FaultPolicy.Timeout.
+type TimeoutError struct {
+	Key   string
+	After time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("job %q timed out after %v", e.Key, e.After)
+}
+
+// permanentError marks an error as non-retryable.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Execute will not retry it. A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err}
+}
+
+// IsPermanent reports whether err was marked non-retryable (panics,
+// timeouts, and Permanent-wrapped errors).
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// Execute runs fn under pol: the attempt is panic-isolated, bounded by
+// pol.Timeout, and retried up to pol.Retries times with doubling backoff on
+// transient errors. clock may be nil for real time. The returned error is
+// the last attempt's.
+func Execute[T any](ctx context.Context, pol FaultPolicy, clock Clock, key string, fn func(context.Context) (T, error)) (T, error) {
+	if clock == nil {
+		clock = realClock{}
+	}
+	var zero T
+	var err error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			clock.Sleep(pol.Backoff << (attempt - 1))
+		}
+		var res T
+		res, err = attemptOnce(ctx, pol, clock, key, fn)
+		if err == nil {
+			return res, nil
+		}
+		if IsPermanent(err) || attempt >= pol.Retries || ctx.Err() != nil {
+			return zero, err
+		}
+	}
+}
+
+// attemptOnce runs one panic-isolated attempt, bounded by pol.Timeout.
+func attemptOnce[T any](ctx context.Context, pol FaultPolicy, clock Clock, key string, fn func(context.Context) (T, error)) (T, error) {
+	if pol.Timeout <= 0 {
+		return protect(ctx, fn)
+	}
+	type outcome struct {
+		res T
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := protect(ctx, fn)
+		done <- outcome{res, err}
+	}()
+	var zero T
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-clock.After(pol.Timeout):
+		return zero, Permanent(&TimeoutError{Key: key, After: pol.Timeout})
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	}
+}
+
+// protect invokes fn converting a panic into a permanent error, so a single
+// bad job cannot take down the pool or the process.
+func protect[T any](ctx context.Context, fn func(context.Context) (T, error)) (res T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = Permanent(fmt.Errorf("panic: %v", p))
+		}
+	}()
+	return fn(ctx)
+}

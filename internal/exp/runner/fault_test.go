@@ -1,0 +1,262 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock scripts time for the fault machinery: Sleep records the
+// requested backoff durations, and After returns a channel the test fires on
+// demand — so timeout behavior is exercised without real waiting.
+type fakeClock struct {
+	mu     sync.Mutex
+	sleeps []time.Duration
+	afters []chan time.Time
+}
+
+func (c *fakeClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	c.sleeps = append(c.sleeps, d)
+	c.mu.Unlock()
+}
+
+func (c *fakeClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.mu.Lock()
+	c.afters = append(c.afters, ch)
+	c.mu.Unlock()
+	return ch
+}
+
+func (c *fakeClock) fireTimeout(i int) {
+	c.mu.Lock()
+	ch := c.afters[i]
+	c.mu.Unlock()
+	ch <- time.Time{}
+}
+
+func (c *fakeClock) sleepLog() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.sleeps...)
+}
+
+// TestRetryFailNTimesThenSucceed: a job failing transiently N times succeeds
+// within N retries, and each retry is preceded by a doubling backoff.
+func TestRetryFailNTimesThenSucceed(t *testing.T) {
+	clock := &fakeClock{}
+	attempts := 0
+	got, err := Execute(context.Background(),
+		FaultPolicy{Retries: 3, Backoff: 10 * time.Millisecond}, clock, "flaky",
+		func(context.Context) (int, error) {
+			attempts++
+			if attempts <= 2 {
+				return 0, fmt.Errorf("transient %d", attempts)
+			}
+			return 42, nil
+		})
+	if err != nil || got != 42 {
+		t.Fatalf("got %d, %v; want 42, nil", got, err)
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3", attempts)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	sleeps := clock.sleepLog()
+	if len(sleeps) != len(want) {
+		t.Fatalf("backoffs = %v, want %v", sleeps, want)
+	}
+	for i := range want {
+		if sleeps[i] != want[i] {
+			t.Errorf("backoff[%d] = %v, want %v (doubling)", i, sleeps[i], want[i])
+		}
+	}
+}
+
+// TestRetryNeverSucceeds: a persistently failing job is attempted exactly
+// 1+Retries times and reports the final error.
+func TestRetryNeverSucceeds(t *testing.T) {
+	clock := &fakeClock{}
+	attempts := 0
+	_, err := Execute(context.Background(),
+		FaultPolicy{Retries: 2, Backoff: time.Millisecond}, clock, "doomed",
+		func(context.Context) (int, error) {
+			attempts++
+			return 0, fmt.Errorf("failure %d", attempts)
+		})
+	if err == nil || !strings.Contains(err.Error(), "failure 3") {
+		t.Fatalf("err = %v, want the final attempt's error", err)
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (1 + 2 retries)", attempts)
+	}
+}
+
+// TestTimeoutIsPermanent: a job hanging past the timeout yields a
+// *TimeoutError and is NOT retried — a hang is assumed to repeat.
+func TestTimeoutIsPermanent(t *testing.T) {
+	clock := &fakeClock{}
+	hang := make(chan struct{})
+	defer close(hang)
+	started := make(chan struct{}, 8)
+	done := make(chan error, 1)
+	go func() {
+		_, err := Execute(context.Background(),
+			FaultPolicy{Timeout: time.Second, Retries: 5, Backoff: time.Millisecond},
+			clock, "hung",
+			func(context.Context) (int, error) {
+				started <- struct{}{}
+				<-hang
+				return 0, nil
+			})
+		done <- err
+	}()
+	<-started // the attempt is running; now fire its timeout
+	clock.fireTimeout(0)
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Execute did not return after timeout fired")
+	}
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *TimeoutError", err)
+	}
+	if te.Key != "hung" || te.After != time.Second {
+		t.Errorf("TimeoutError = %+v, want key 'hung' after 1s", te)
+	}
+	if !IsPermanent(err) {
+		t.Error("timeout should be permanent")
+	}
+	if len(started) != 0 {
+		t.Errorf("job was retried after a timeout: %d extra attempts", len(started))
+	}
+	if sleeps := clock.sleepLog(); len(sleeps) != 0 {
+		t.Errorf("backoff slept %v despite permanent failure", sleeps)
+	}
+}
+
+// TestPanicIsPermanent: a panicking job is attempted once, never retried,
+// and the panic value is preserved in the error.
+func TestPanicIsPermanent(t *testing.T) {
+	clock := &fakeClock{}
+	attempts := 0
+	_, err := Execute(context.Background(),
+		FaultPolicy{Retries: 4, Backoff: time.Millisecond}, clock, "bomb",
+		func(context.Context) (int, error) {
+			attempts++
+			panic("kaboom")
+		})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v, want the panic value", err)
+	}
+	if !IsPermanent(err) {
+		t.Error("panic should be permanent")
+	}
+	if attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (no retry after panic)", attempts)
+	}
+}
+
+// TestPermanentWrapping: Permanent-marked errors stop the retry loop, and
+// Permanent(nil) stays nil.
+func TestPermanentWrapping(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Error("Permanent(nil) != nil")
+	}
+	boom := errors.New("boom")
+	if !IsPermanent(Permanent(boom)) {
+		t.Error("Permanent(err) not detected")
+	}
+	if IsPermanent(boom) {
+		t.Error("plain error detected as permanent")
+	}
+	if !errors.Is(Permanent(boom), boom) {
+		t.Error("Permanent does not unwrap to the original error")
+	}
+	attempts := 0
+	_, err := Execute(context.Background(),
+		FaultPolicy{Retries: 3}, &fakeClock{}, "perm",
+		func(context.Context) (int, error) {
+			attempts++
+			return 0, Permanent(boom)
+		})
+	if !errors.Is(err, boom) || attempts != 1 {
+		t.Errorf("err=%v attempts=%d; want boom after exactly 1 attempt", err, attempts)
+	}
+}
+
+// TestRunAllContinuesPastFailures: RunAll completes every job, reporting
+// per-job errors, where Run would have cancelled the remainder.
+func TestRunAllContinuesPastFailures(t *testing.T) {
+	const n = 16
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Key: fmt.Sprintf("job%d", i),
+			Run: func(context.Context) (int, error) {
+				if i%4 == 0 {
+					panic(fmt.Sprintf("injected %d", i))
+				}
+				return i * 10, nil
+			},
+		}
+	}
+	results, errs := RunAll(context.Background(), Options{Workers: 3}, jobs)
+	for i := 0; i < n; i++ {
+		if i%4 == 0 {
+			if errs[i] == nil || !strings.Contains(errs[i].Error(), fmt.Sprintf("injected %d", i)) {
+				t.Errorf("errs[%d] = %v, want injected panic", i, errs[i])
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Errorf("errs[%d] = %v, want nil", i, errs[i])
+		}
+		if results[i] != i*10 {
+			t.Errorf("results[%d] = %d, want %d", i, results[i], i*10)
+		}
+	}
+}
+
+// TestPoolAppliesFaultPolicy: the worker pool routes jobs through the fault
+// policy, so a transiently flaky job succeeds after pool-level retries.
+func TestPoolAppliesFaultPolicy(t *testing.T) {
+	var mu sync.Mutex
+	attempts := map[int]int{}
+	jobs := make([]Job[int], 4)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Key: fmt.Sprintf("job%d", i),
+			Run: func(context.Context) (int, error) {
+				mu.Lock()
+				attempts[i]++
+				a := attempts[i]
+				mu.Unlock()
+				if i == 2 && a == 1 {
+					return 0, errors.New("transient")
+				}
+				return i, nil
+			},
+		}
+	}
+	clock := &fakeClock{}
+	opts := Options{Workers: 2, Fault: FaultPolicy{Retries: 1, Backoff: time.Millisecond}, Clock: clock}
+	results, errs := RunAll(context.Background(), opts, jobs)
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("errs[%d] = %v", i, err)
+		}
+	}
+	if results[2] != 2 || attempts[2] != 2 {
+		t.Errorf("flaky job: result=%d attempts=%d; want 2 after 2 attempts", results[2], attempts[2])
+	}
+}

@@ -10,9 +10,12 @@
 //   - results[i] always corresponds to jobs[i], regardless of completion
 //     order, so output built from the slice is byte-identical to a serial
 //     run;
-//   - a failing (or panicking) job cancels the jobs that have not started,
-//     lets running ones finish, and surfaces the lowest-index error — the
-//     pool never wedges;
+//   - under Run, a failing (or panicking) job cancels the jobs that have
+//     not started, lets running ones finish, and surfaces the lowest-index
+//     error — the pool never wedges; under RunAll, failures degrade to
+//     per-job errors and every other job still completes;
+//   - every job runs under the configured FaultPolicy (see fault.go):
+//     panic isolation, per-attempt timeout, bounded retry with backoff;
 //   - cancelling the caller's context stops feeding new jobs promptly.
 package runner
 
@@ -47,6 +50,16 @@ type Options struct {
 	Progress io.Writer
 	// Label prefixes progress lines (typically the experiment ID).
 	Label string
+	// Fault bounds each job: per-attempt timeout, bounded retry with
+	// backoff for transient errors, panic isolation. The zero value means
+	// no timeout and no retries (panics still become errors).
+	Fault FaultPolicy
+	// Clock overrides time for Fault (tests); nil means real time.
+	Clock Clock
+	// Continue keeps the pool running after a job fails: remaining jobs
+	// still execute and per-job errors are reported by RunAll. When false
+	// (the Run behavior), the first failure cancels unstarted jobs.
+	Continue bool
 }
 
 // Run executes jobs on a bounded worker pool and returns their results
@@ -55,9 +68,31 @@ type Options struct {
 // lowest-index job failure, or ctx.Err() if the caller's context ended the
 // run with no job having failed.
 func Run[T any](ctx context.Context, opts Options, jobs []Job[T]) ([]T, error) {
+	opts.Continue = false
+	results, errs := run(ctx, opts, jobs)
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, ctx.Err()
+}
+
+// RunAll executes jobs like Run but degrades instead of aborting: a failing
+// job does not cancel the rest, and every job's outcome is reported
+// individually — errs[i] is nil iff results[i] is valid. Combined with
+// Options.Fault this is the sweep-hardened mode: a panicking or timed-out
+// arm becomes a recorded per-job failure while every other job completes.
+func RunAll[T any](ctx context.Context, opts Options, jobs []Job[T]) ([]T, []error) {
+	opts.Continue = true
+	return run(ctx, opts, jobs)
+}
+
+func run[T any](ctx context.Context, opts Options, jobs []Job[T]) ([]T, []error) {
 	results := make([]T, len(jobs))
+	errs := make([]error, len(jobs))
 	if len(jobs) == 0 {
-		return results, ctx.Err()
+		return results, errs
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -84,7 +119,6 @@ func Run[T any](ctx context.Context, opts Options, jobs []Job[T]) ([]T, error) {
 		}
 	}()
 
-	errs := make([]error, len(jobs))
 	prog := &progress{w: opts.Progress, label: opts.Label, total: len(jobs), start: time.Now()}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -93,13 +127,20 @@ func Run[T any](ctx context.Context, opts Options, jobs []Job[T]) ([]T, error) {
 			defer wg.Done()
 			for i := range feed {
 				if ctx.Err() != nil {
+					if opts.Continue {
+						errs[i] = ctx.Err()
+					}
 					continue
 				}
 				start := time.Now()
-				res, err := runJob(ctx, jobs[i])
+				res, err := Execute(ctx, opts.Fault, opts.Clock, jobs[i].Key, jobs[i].Run)
 				if err != nil {
 					errs[i] = fmt.Errorf("job %q: %w", jobs[i].Key, err)
-					cancel()
+					if !opts.Continue {
+						cancel()
+						continue
+					}
+					prog.finish(jobs[i].Key+" FAILED", time.Since(start))
 					continue
 				}
 				results[i] = res
@@ -108,25 +149,7 @@ func Run[T any](ctx context.Context, opts Options, jobs []Job[T]) ([]T, error) {
 		}()
 	}
 	wg.Wait()
-
-	for _, err := range errs {
-		if err != nil {
-			return results, err
-		}
-	}
-	return results, ctx.Err()
-}
-
-// runJob invokes one job, converting a panic into an error so a single bad
-// job cannot take down the whole pool (or the process, when the pool runs
-// under cmd/experiments).
-func runJob[T any](ctx context.Context, j Job[T]) (res T, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			err = fmt.Errorf("panic: %v", p)
-		}
-	}()
-	return j.Run(ctx)
+	return results, errs
 }
 
 // progress serializes per-job completion reporting.

@@ -5,18 +5,12 @@ import (
 	"testing"
 )
 
-// microScale is as small as the experiments can meaningfully go: two
-// workloads, tiny instruction budgets. The smoke tests verify every runner
-// executes, produces non-empty tables, and emits parseable cells — the full
-// results come from cmd/experiments and the bench harness.
-func microScale() Scale {
-	sc := Small
-	sc.Workloads = []string{"sphinx06", "libquantum06"}
-	sc.Warmup = 40_000
-	sc.Measure = 120_000
-	sc.MixCount = 1
-	return sc
-}
+// microScale is as small as the experiments can meaningfully go — the
+// exported Micro scale (`-scale micro`), shared with the crash-injection
+// harness. The smoke tests verify every runner executes, produces non-empty
+// tables, and emits parseable cells — the full results come from
+// cmd/experiments and the bench harness.
+func microScale() Scale { return Micro }
 
 // fastExperiments are cheap enough to smoke-test on every `go test` run.
 var fastExperiments = []string{

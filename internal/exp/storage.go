@@ -49,10 +49,17 @@ func init() {
 			for _, arm := range arms {
 				var spd, cov []float64
 				for _, w := range ws {
-					b := r.Run(base, w.Name)
-					res := r.Run(arm, w.Name)
+					b, okB := r.TryRun(base, w.Name)
+					res, okA := r.TryRun(arm, w.Name)
+					if !okB || !okA {
+						continue // gapped workload: excluded from this arm's means
+					}
 					spd = append(spd, Speedup(b, res))
 					cov = append(cov, Coverage(b, res))
+				}
+				if len(spd) == 0 {
+					t.AddRow(arm.Name, GapCell, GapCell)
+					continue
 				}
 				t.AddRow(arm.Name, F(Geomean(spd)), Pct(Mean(cov)))
 			}
@@ -84,9 +91,22 @@ func init() {
 				sz := mb / frac
 				tri, str := fracArms[frac][0], fracArms[frac][1]
 				var tt, st uint64
+				gapped := false
 				for _, w := range ws {
-					tt += r.Run(tri, w.Name).Cores[0].Meta.Traffic()
-					st += r.Run(str, w.Name).Cores[0].Meta.Traffic()
+					resT, okT := r.TryRun(tri, w.Name)
+					resS, okS := r.TryRun(str, w.Name)
+					if !okT || !okS {
+						gapped = true
+						continue
+					}
+					tt += resT.Cores[0].Meta.Traffic()
+					st += resS.Cores[0].Meta.Traffic()
+				}
+				if gapped {
+					// Traffic totals are sums, not means: one missing workload
+					// silently skews the ratio, so the whole row is a gap.
+					t.AddRow(fmt.Sprintf("%dKB", sz>>10), GapCell, GapCell, GapCell)
+					continue
 				}
 				ratio := 0.0
 				if tt > 0 {
@@ -108,11 +128,11 @@ func init() {
 			mb := r.Scale.MetaBytes
 			t := Table{ID: "fig13c", Title: "metadata replacement: coverage / accuracy / utility",
 				Columns: []string{"arm", "coverage", "accuracy", "corr-utility"}}
-			pressured := NewRunner(r.Scale)
-			pressured.Progress = r.Progress
-			pressured.Jobs = r.Jobs
-			pressured.JobProgress = r.JobProgress
-			pressured.Scale.Footprint = r.Scale.Footprint * 1.4
+			psc := r.Scale
+			psc.Footprint = r.Scale.Footprint * 1.4
+			// Derived shares the parent's store and failure log, so pressured
+			// runs checkpoint/resume and gap like everything else.
+			pressured := r.Derived(psc)
 			base := baseArm("stride", "")
 			ws := r.Scale.irregular()
 			arms := []Arm{
@@ -137,13 +157,20 @@ func init() {
 			for _, arm := range arms {
 				var cov, acc, util []float64
 				for _, w := range ws {
-					b := pressured.Run(base, w.Name)
-					res := pressured.Run(arm, w.Name)
+					b, okB := pressured.TryRun(base, w.Name)
+					res, okA := pressured.TryRun(arm, w.Name)
+					if !okB || !okA {
+						continue // gapped workload: excluded from this arm's means
+					}
 					c := Coverage(b, res)
 					a := Accuracy(res)
 					cov = append(cov, c)
 					acc = append(acc, a)
 					util = append(util, c*a)
+				}
+				if len(cov) == 0 {
+					t.AddRow(arm.Name, GapCell, GapCell, GapCell)
+					continue
 				}
 				t.AddRow(arm.Name, Pct(Mean(cov)), Pct(Mean(acc)), Pct(Mean(util)))
 			}
@@ -166,6 +193,10 @@ func init() {
 					}
 				})
 			for i, w := range ws {
+				if r.Gapped("oracle|" + w.Name) {
+					o.AddRow(w.Name, GapCell, GapCell, GapCell, GapCell)
+					continue
+				}
 				m, tp := replays[i].min, replays[i].tpmin
 				o.AddRow(w.Name,
 					Pct(m.TriggerHitRate()), Pct(m.CorrelationHitRate()),

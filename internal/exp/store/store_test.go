@@ -1,0 +1,380 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testManifest() Manifest {
+	return Manifest{Version: Version, ScaleName: "micro", ScaleFP: "scale-v1|test", Seed: 7}
+}
+
+type payload struct {
+	Value string `json:"value"`
+	N     int    `json:"n"`
+}
+
+// TestRoundTrip: Put then Get across a reopen returns the identical payload
+// bytes, and the loaded count reflects what was recovered.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("job", "arm|wl|1|0.000")
+	if err := s.Put(key, "arm|wl|1|0.000", payload{Value: "hello", N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Loaded() != 1 || s2.Quarantined() != 0 {
+		t.Fatalf("loaded=%d quarantined=%d, want 1, 0", s2.Loaded(), s2.Quarantined())
+	}
+	raw, ok := s2.Get(key)
+	if !ok {
+		t.Fatal("record missing after reopen")
+	}
+	var got payload
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != "hello" || got.N != 3 {
+		t.Errorf("payload = %+v", got)
+	}
+	if _, ok := s2.Get(Key("job", "other")); ok {
+		t.Error("Get returned a record for an unknown key")
+	}
+}
+
+// TestKeyCanonical: the content hash is stable, part-order-sensitive, and
+// immune to concatenation ambiguity thanks to length prefixes.
+func TestKeyCanonical(t *testing.T) {
+	if Key("a", "b") != Key("a", "b") {
+		t.Error("Key is not deterministic")
+	}
+	if Key("a", "b") == Key("b", "a") {
+		t.Error("Key ignores part order")
+	}
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Error("Key collides across part boundaries")
+	}
+	if Key("a|b") == Key("a", "b") {
+		t.Error("Key collides with separator-containing parts")
+	}
+}
+
+// TestOpenMissingDirectory: resuming a directory with no manifest fails fast
+// and names the manifest file the caller expected to find.
+func TestOpenMissingDirectory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nope")
+	_, err := Open(dir, testManifest())
+	if err == nil {
+		t.Fatal("Open succeeded on a missing directory")
+	}
+	if !strings.Contains(err.Error(), "not a resumable sweep directory") ||
+		!strings.Contains(err.Error(), filepath.Join(dir, "MANIFEST.json")) {
+		t.Errorf("error does not name the expected manifest: %v", err)
+	}
+}
+
+// TestManifestMismatch: a directory created under one scale/seed refuses a
+// resume under another, naming both sides.
+func TestManifestMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	other := testManifest()
+	other.Seed = 8
+	if _, err := Open(dir, other); err == nil {
+		t.Error("Open accepted a mismatched seed")
+	} else if !strings.Contains(err.Error(), "does not match this run") {
+		t.Errorf("unhelpful mismatch error: %v", err)
+	}
+	other = testManifest()
+	other.ScaleFP = "scale-v1|tweaked"
+	if _, err := Open(dir, other); err == nil {
+		t.Error("Open accepted a mismatched scale fingerprint")
+	}
+	// Create into an existing directory must also validate.
+	if _, err := Create(dir, other); err == nil {
+		t.Error("Create accepted a mismatched manifest")
+	}
+}
+
+// TestTruncatedTailQuarantined: a crash mid-append leaves a truncated last
+// line; open must keep every whole record, quarantine the fragment, and a
+// second open must quarantine nothing (recovery is idempotent).
+func TestTruncatedTailQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put(Key("job", fmt.Sprint(i)), fmt.Sprint(i), payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Truncate the final record mid-line, as a crash during append would.
+	rp := filepath.Join(dir, "results.jsonl")
+	data, err := os.ReadFile(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(rp, data[:len(data)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Loaded() != 2 || s2.Quarantined() != 1 {
+		t.Fatalf("loaded=%d quarantined=%d, want 2, 1", s2.Loaded(), s2.Quarantined())
+	}
+	if _, ok := s2.Get(Key("job", "2")); ok {
+		t.Error("truncated record was replayed")
+	}
+	s2.Close()
+
+	q, err := os.ReadFile(filepath.Join(dir, "quarantine.jsonl"))
+	if err != nil || !bytes.Contains(q, []byte("reason")) {
+		t.Errorf("quarantine file missing or empty: %v", err)
+	}
+
+	// Idempotent: the compacted file must open clean.
+	s3, err := Open(dir, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Loaded() != 2 || s3.Quarantined() != 0 {
+		t.Errorf("second open: loaded=%d quarantined=%d, want 2, 0 (recovery not idempotent)",
+			s3.Loaded(), s3.Quarantined())
+	}
+}
+
+// TestBitFlipQuarantined: a single flipped payload byte fails the checksum
+// and the record is quarantined, never returned.
+func TestBitFlipQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("job", "x")
+	if err := s.Put(key, "x", payload{Value: "pristine"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	rp := filepath.Join(dir, "results.jsonl")
+	data, err := os.ReadFile(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.Index(data, []byte("pristine"))
+	if i < 0 {
+		t.Fatal("payload not found in file")
+	}
+	data[i] ^= 0x01 // "pristine" -> "qristine": valid JSON, wrong hash
+	if err := os.WriteFile(rp, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Loaded() != 0 || s2.Quarantined() != 1 {
+		t.Fatalf("loaded=%d quarantined=%d, want 0, 1", s2.Loaded(), s2.Quarantined())
+	}
+	if _, ok := s2.Get(key); ok {
+		t.Error("bit-flipped record was replayed")
+	}
+}
+
+// TestDuplicateRecords: an identical duplicate keeps the first copy (and
+// quarantines the extra line); conflicting duplicates distrust BOTH copies.
+func TestDuplicateRecords(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kSame, kConf := Key("same"), Key("conflict")
+	if err := s.Put(kSame, "same", payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(kConf, "conflict", payload{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Append an identical copy of the first record and a conflicting copy
+	// of the second, as overlapping writers or a replayed journal might.
+	rp := filepath.Join(dir, "results.jsonl")
+	data, err := os.ReadFile(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	confRaw, _ := json.Marshal(payload{N: 99})
+	conflict := Record{Key: kConf, ID: "conflict", Sum: payloadSum(confRaw), Payload: confRaw}
+	extra := append(append([]byte{}, lines[0]...), append(mustMarshal(conflict), '\n')...)
+	f, err := os.OpenFile(rp, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(extra); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get(kSame); !ok {
+		t.Error("identical duplicate evicted the original")
+	}
+	if _, ok := s2.Get(kConf); ok {
+		t.Error("conflicting duplicate survived: neither copy can be trusted")
+	}
+	if s2.Quarantined() != 3 { // identical dup + both conflicting copies
+		t.Errorf("quarantined = %d, want 3", s2.Quarantined())
+	}
+}
+
+// TestPutConflict: re-putting an identical payload is a no-op; a different
+// payload under the same key is an error (the run would be nondeterministic).
+func TestPutConflict(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	key := Key("job")
+	if err := s.Put(key, "job", payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key, "job", payload{N: 1}); err != nil {
+		t.Errorf("identical re-put errored: %v", err)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d after idempotent re-put, want 1", s.Len())
+	}
+	if err := s.Put(key, "job", payload{N: 2}); err == nil {
+		t.Error("conflicting re-put succeeded")
+	}
+}
+
+// TestConcurrentPut: many goroutines appending distinct keys must not race
+// or corrupt the file (run under -race by the suite).
+func TestConcurrentPut(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Put(Key("job", fmt.Sprint(i)), fmt.Sprint(i), payload{N: i}); err != nil {
+				t.Errorf("Put %d: %v", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	s.Close()
+
+	s2, err := Open(dir, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Loaded() != n || s2.Quarantined() != 0 {
+		t.Fatalf("after reopen: loaded=%d quarantined=%d, want %d, 0",
+			s2.Loaded(), s2.Quarantined(), n)
+	}
+	for i := 0; i < n; i++ {
+		raw, ok := s2.Get(Key("job", fmt.Sprint(i)))
+		if !ok {
+			t.Fatalf("record %d missing", i)
+		}
+		var p payload
+		if err := json.Unmarshal(raw, &p); err != nil || p.N != i {
+			t.Fatalf("record %d corrupt: %v %+v", i, err, p)
+		}
+	}
+}
+
+// TestWriteFileAtomic: the write replaces the destination wholly, and a
+// failing writer leaves the previous content untouched with no temp litter.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "out.txt")
+	if err := WriteFileAtomic(p, func(w io.Writer) error {
+		_, err := io.WriteString(w, "first")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(p, func(w io.Writer) error {
+		_, err := io.WriteString(w, "second")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil || string(got) != "second" {
+		t.Fatalf("content = %q, %v; want 'second'", got, err)
+	}
+
+	boom := fmt.Errorf("writer failed")
+	if err := WriteFileAtomic(p, func(io.Writer) error { return boom }); err != boom {
+		t.Fatalf("err = %v, want the writer's error", err)
+	}
+	got, _ = os.ReadFile(p)
+	if string(got) != "second" {
+		t.Errorf("failed write clobbered the destination: %q", got)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Errorf("temp files left behind: %v", ents)
+	}
+}

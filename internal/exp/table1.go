@@ -116,7 +116,15 @@ func init() {
 						traffic: schemeResizeTraffic(cfg, llcSets, llcWays, r.Scale.Seed),
 					}
 				})
-			for _, row := range rows {
+			for i, row := range rows {
+				if row.name == "" {
+					// A zero-valued row means the scheme's job failed; the
+					// key still names the scheme, so recover the label.
+					cfg := schemeConfigs(mb)[i]
+					name := meta.NewStore(cfg, &meta.NullBridge{Sets: llcSets, Ways: llcWays}).SchemeName()
+					t.AddRow(name, GapCell, GapCell, GapCell, verdicts[name])
+					continue
+				}
 				t.AddRow(row.name, Pct(row.small), Pct(row.big),
 					fmt.Sprint(row.traffic), verdicts[row.name])
 			}
@@ -180,6 +188,11 @@ func init() {
 				})
 			prev := 0.0
 			for i, bits := range []int{4, 5, 6, 7, 8, 10, 12} {
+				if r.Gapped(fmt.Sprintf("aliasing|%d-bit", bits)) {
+					t.AddRow(fmt.Sprint(bits), GapCell, GapCell, GapCell)
+					prev = 0 // the next ratio would compare across the gap
+					continue
+				}
 				rate := float64(aliased[i]) / n
 				ratio := "-"
 				if prev > 0 && rate > 0 {
