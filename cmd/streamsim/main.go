@@ -7,6 +7,12 @@
 //	streamsim -workload pr -l1 stride -temporal triangel -cores 4
 //	streamsim -workload mcf06 -temporal streamline -telemetry out.jsonl -timeline
 //	streamsim -list
+//
+// The configuration knobs are the same Spec cmd/streamd serves over HTTP
+// (internal/serve), so a CLI run and a daemon request with equal knobs
+// produce identical results. All flags are validated up front: a bad enum
+// value or out-of-range knob exits 2 listing the allowed values, before any
+// simulation state is built.
 package main
 
 import (
@@ -19,20 +25,7 @@ import (
 	"runtime/pprof"
 
 	"streamline/internal/audit"
-	"streamline/internal/cache"
-	"streamline/internal/core"
-	"streamline/internal/dram"
-	"streamline/internal/meta"
-	"streamline/internal/prefetch"
-	"streamline/internal/prefetch/berti"
-	"streamline/internal/prefetch/bingo"
-	"streamline/internal/prefetch/ipcp"
-	"streamline/internal/prefetch/spp"
-	"streamline/internal/prefetch/stms"
-	"streamline/internal/prefetch/stride"
-	"streamline/internal/prefetch/triage"
-	"streamline/internal/prefetch/triangel"
-	"streamline/internal/sim"
+	"streamline/internal/serve"
 	"streamline/internal/telemetry"
 	"streamline/internal/workloads"
 )
@@ -40,16 +33,16 @@ import (
 func main() {
 	var (
 		workload  = flag.String("workload", "sphinx06", "workload name")
-		l1        = flag.String("l1", "stride", "L1D prefetcher: none|stride|berti")
-		l2        = flag.String("l2", "none", "L2 prefetcher: none|ipcp|bingo|spp")
-		temporal  = flag.String("temporal", "none", "temporal prefetcher: none|triage|triangel|streamline|streamline-bypass|stms")
-		cores     = flag.Int("cores", 1, "core count (same workload on every core)")
-		footprint = flag.Float64("footprint", 0.1, "workload footprint scale")
-		warmup    = flag.Uint64("warmup", 400_000, "warmup instructions")
-		measure   = flag.Uint64("measure", 1_200_000, "measured instructions")
-		metaKB    = flag.Int("meta-kb", 128, "max metadata partition per core (KB)")
-		llcSets   = flag.Int("llc-sets", 256, "LLC sets per core (256=256KB, 2048=2MB)")
-		seed      = flag.Int64("seed", 1, "workload seed")
+		l1        = flag.String("l1", serve.DefaultL1, "L1D prefetcher: none|stride|berti")
+		l2        = flag.String("l2", serve.DefaultL2, "L2 prefetcher: none|ipcp|bingo|spp")
+		temporal  = flag.String("temporal", serve.DefaultTemporal, "temporal prefetcher: none|triage|triangel|streamline|streamline-bypass|stms")
+		cores     = flag.Int("cores", serve.DefaultCores, "core count (same workload on every core)")
+		footprint = flag.Float64("footprint", serve.DefaultFootprint, "workload footprint scale")
+		warmup    = flag.Uint64("warmup", serve.DefaultWarmup, "warmup instructions")
+		measure   = flag.Uint64("measure", serve.DefaultMeasure, "measured instructions")
+		metaKB    = flag.Int("meta-kb", serve.DefaultMetaKB, "max metadata partition per core (KB)")
+		llcSets   = flag.Int("llc-sets", serve.DefaultLLCSets, "LLC sets per core (256=256KB, 2048=2MB)")
+		seed      = flag.Int64("seed", serve.DefaultSeed, "workload seed")
 		list      = flag.Bool("list", false, "list workloads and exit")
 		check     = flag.Bool("check", false, "enable the runtime invariant audit; exit 1 on violations")
 
@@ -75,17 +68,23 @@ func main() {
 		return
 	}
 
-	w, err := workloads.Get(*workload)
-	if err != nil {
+	// Every knob is validated up front through the same Spec the daemon
+	// serves; a bad value exits 2 naming the allowed ones.
+	sp := serve.Spec{
+		Workload:  *workload,
+		L1:        *l1,
+		L2:        *l2,
+		Temporal:  *temporal,
+		Cores:     *cores,
+		Footprint: *footprint,
+		Warmup:    *warmup,
+		Measure:   *measure,
+		MetaKB:    *metaKB,
+		LLCSets:   *llcSets,
+		Seed:      *seed,
+	}
+	if err := sp.Normalize(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-
-	if *cores < 1 {
-		*cores = 1
-	}
-	if *llcSets < 16 || *llcSets&(*llcSets-1) != 0 {
-		fmt.Fprintf(os.Stderr, "-llc-sets must be a power of two >= 16, got %d\n", *llcSets)
 		os.Exit(2)
 	}
 	sev, err := telemetry.ParseSeverity(*telLevel)
@@ -93,65 +92,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-
-	cfg := sim.DefaultConfig(*cores)
-	cfg.LLC.Sets = *llcSets
-	cfg.L2.Sets = max(64, *llcSets/2)
-	cfg.WarmupInstructions = *warmup
-	cfg.MeasureInstructions = *measure
-
-	switch *l1 {
-	case "stride":
-		cfg.L1DPrefetcher = func() prefetch.Prefetcher { return stride.New(stride.DefaultConfig) }
-	case "berti":
-		cfg.L1DPrefetcher = func() prefetch.Prefetcher { return berti.New(berti.DefaultConfig) }
-	case "none":
-	default:
-		fmt.Fprintf(os.Stderr, "unknown l1 prefetcher %q\n", *l1)
-		os.Exit(2)
-	}
-	switch *l2 {
-	case "ipcp":
-		cfg.L2Prefetcher = func() prefetch.Prefetcher { return ipcp.New(ipcp.DefaultConfig) }
-	case "bingo":
-		cfg.L2Prefetcher = func() prefetch.Prefetcher { return bingo.New(bingo.DefaultConfig) }
-	case "spp":
-		cfg.L2Prefetcher = func() prefetch.Prefetcher { return spp.New(spp.DefaultConfig) }
-	case "none":
-	default:
-		fmt.Fprintf(os.Stderr, "unknown l2 prefetcher %q\n", *l2)
-		os.Exit(2)
-	}
-	metaBytes := *metaKB << 10
-	switch *temporal {
-	case "triage":
-		cfg.Temporal = func(b meta.Bridge) prefetch.Prefetcher {
-			c := triage.DefaultConfig()
-			c.MetaBytes = metaBytes
-			return triage.New(c, b)
-		}
-	case "triangel":
-		cfg.Temporal = func(b meta.Bridge) prefetch.Prefetcher {
-			c := triangel.DefaultConfig()
-			c.MetaBytes = metaBytes
-			return triangel.New(c, b)
-		}
-	case "streamline", "streamline-bypass":
-		bypass := *temporal == "streamline-bypass"
-		cfg.Temporal = func(b meta.Bridge) prefetch.Prefetcher {
-			o := core.DefaultOptions()
-			o.MetaBytes = metaBytes
-			o.MinSets = max(8, *llcSets/16)
-			o.Bypass = bypass
-			return core.New(o, b)
-		}
-	case "stms":
-		cfg.TemporalDRAM = func(d *dram.DRAM) prefetch.Prefetcher {
-			return stms.New(stms.DefaultConfig(), d)
-		}
-	case "none":
-	default:
-		fmt.Fprintf(os.Stderr, "unknown temporal prefetcher %q\n", *temporal)
+	cfg, err := sp.Config()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -169,8 +112,8 @@ func main() {
 
 	var aud *audit.Auditor
 	if *check {
-		aud = audit.New(*seed)
-		aud.Label = fmt.Sprintf("%s|%s|%s|%s|x%d", *workload, *l1, *l2, *temporal, *cores)
+		aud = audit.New(sp.Seed)
+		aud.Label = fmt.Sprintf("%s|%s|%s|%s|x%d", sp.Workload, sp.L1, sp.L2, sp.Temporal, sp.Cores)
 		cfg.Audit = aud
 	}
 
@@ -198,14 +141,15 @@ func main() {
 		cfg.Telemetry = col
 	}
 
-	sys := sim.New(cfg)
-	for c := 0; c < *cores; c++ {
-		sys.SetTrace(c, w.NewTrace(workloads.Scale{Footprint: *footprint}, *seed+int64(c)))
+	sys, err := sp.NewSystem(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(2)
 	}
 	res := sys.Run()
 
 	fmt.Printf("workload=%s cores=%d l1=%s l2=%s temporal=%s\n",
-		*workload, *cores, *l1, *l2, *temporal)
+		sp.Workload, sp.Cores, sp.L1, sp.L2, sp.Temporal)
 	for i, c := range res.Cores {
 		fmt.Printf("core %d: IPC %.4f  (%d instr, %d cycles)\n", i, c.IPC, c.Instructions, c.Cycles)
 		fmt.Printf("  L1D: %.1f%% hit, %d misses     L2: %.1f%% hit, %d misses (%.2f MPKI)\n",
@@ -250,7 +194,9 @@ func main() {
 	}
 
 	if *jsonDest != "" {
-		if err := writeJSON(*jsonDest, buildJSON(*workload, *l1, *l2, *temporal, *cores, *seed, res)); err != nil {
+		// The -json document is the daemon's response document, so CLI and
+		// HTTP results of the same knobs compare byte-for-byte.
+		if err := writeJSON(*jsonDest, serve.BuildResult(sp, res)); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			exit(1)
 		}
@@ -268,89 +214,7 @@ func main() {
 	stopProfiles()
 }
 
-// jsonResult is the -json document: the run configuration, every core's raw
-// statistics plus the derived rates the tables print, and the per-engine
-// prefetch lifecycle attribution.
-type jsonResult struct {
-	Workload string `json:"workload"`
-	Cores    int    `json:"cores"`
-	L1       string `json:"l1"`
-	L2       string `json:"l2"`
-	Temporal string `json:"temporal"`
-	Seed     int64  `json:"seed"`
-
-	CoreResults []jsonCore  `json:"coreResults"`
-	LLC         cache.Stats `json:"llc"`
-	DRAM        dram.Stats  `json:"dram"`
-}
-
-type jsonCore struct {
-	Core             int     `json:"core"`
-	Instructions     uint64  `json:"instructions"`
-	Cycles           uint64  `json:"cycles"`
-	IPC              float64 `json:"ipc"`
-	L1DMPKI          float64 `json:"l1dMpki"`
-	L2MPKI           float64 `json:"l2Mpki"`
-	PrefetchAccuracy float64 `json:"prefetchAccuracy"`
-
-	L1D cache.Stats `json:"l1d"`
-	L2  cache.Stats `json:"l2"`
-
-	PrefetchesIssued uint64           `json:"prefetchesIssued"`
-	Prefetchers      []jsonPrefetcher `json:"prefetchers"`
-	Meta             meta.Stats       `json:"meta"`
-}
-
-type jsonPrefetcher struct {
-	Source           string  `json:"source"`
-	Issued           uint64  `json:"issued"`
-	DroppedDuplicate uint64  `json:"droppedDuplicate"`
-	Fills            uint64  `json:"fills"`
-	UsefulTimely     uint64  `json:"usefulTimely"`
-	UsefulLate       uint64  `json:"usefulLate"`
-	EvictedUnused    uint64  `json:"evictedUnused"`
-	Accuracy         float64 `json:"accuracy"`
-	Pollution        float64 `json:"pollution"`
-}
-
-func buildJSON(workload, l1, l2, temporal string, cores int, seed int64, res sim.Result) jsonResult {
-	out := jsonResult{
-		Workload: workload, Cores: cores, L1: l1, L2: l2, Temporal: temporal, Seed: seed,
-		LLC: res.LLC, DRAM: res.DRAM,
-	}
-	for i, c := range res.Cores {
-		jc := jsonCore{
-			Core:             i,
-			Instructions:     c.Instructions,
-			Cycles:           c.Cycles,
-			IPC:              c.IPC,
-			L1DMPKI:          c.L1DMPKI(),
-			L2MPKI:           c.L2MPKI(),
-			PrefetchAccuracy: c.PrefetchAccuracy(),
-			L1D:              c.L1D,
-			L2:               c.L2,
-			PrefetchesIssued: c.PrefetchesIssued,
-			Meta:             c.Meta,
-		}
-		for _, p := range c.Prefetchers {
-			jc.Prefetchers = append(jc.Prefetchers, jsonPrefetcher{
-				Source:           p.Source,
-				Issued:           p.Issued,
-				DroppedDuplicate: p.DroppedDuplicate,
-				Fills:            p.Fills,
-				UsefulTimely:     p.UsefulTimely,
-				UsefulLate:       p.UsefulLate,
-				EvictedUnused:    p.EvictedUnused,
-				Accuracy:         p.Accuracy(),
-				Pollution:        p.Pollution(),
-			})
-		}
-		out.CoreResults = append(out.CoreResults, jc)
-	}
-	return out
-}
-
-func writeJSON(dest string, res jsonResult) error {
+func writeJSON(dest string, res serve.Result) error {
 	var w io.Writer = os.Stdout
 	if dest != "-" {
 		f, err := os.Create(dest)

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain re-execs the test binary as the streamsim command when
+// STREAMSIM_BE_MAIN=1, so the tests below drive the real CLI — real flag
+// parsing, real exit codes — without a separate build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("STREAMSIM_BE_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// run executes the CLI with args, returning exit code, stdout, and stderr.
+func run(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "STREAMSIM_BE_MAIN=1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running streamsim %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return code, stdout.String(), stderr.String()
+}
+
+// TestFlagValidation: every enum and bounds flag is checked up front — a bad
+// value exits 2 with an error listing the allowed values, before any
+// simulation state is built.
+func TestFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs the CLI in child processes")
+	}
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"bad l1", []string{"-l1", "ghb"}, "none, stride or berti"},
+		{"bad l2", []string{"-l2", "ghb"}, "none, ipcp, bingo or spp"},
+		{"bad temporal", []string{"-temporal", "markov"}, "streamline-bypass or stms"},
+		{"bad workload", []string{"-workload", "nope"}, `unknown workload "nope"`},
+		{"bad llc-sets", []string{"-llc-sets", "100"}, "power of two"},
+		{"bad cores", []string{"-cores", "-2"}, "cores must be between"},
+		{"bad footprint", []string{"-footprint", "1.5"}, "footprint must be in (0, 1]"},
+		{"bad telemetry level", []string{"-telemetry-level", "loud"}, "unknown severity"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stdout, stderr := run(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2\nstderr: %s", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.wantErr) {
+				t.Errorf("stderr %q does not list the allowed values (%q)", stderr, tc.wantErr)
+			}
+			if stdout != "" {
+				t.Errorf("invalid invocation printed to stdout: %q", stdout)
+			}
+		})
+	}
+}
+
+// TestTinyRunSucceeds: a valid invocation still simulates and prints the
+// stats header.
+func TestTinyRunSucceeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation in a child process")
+	}
+	code, stdout, stderr := run(t,
+		"-warmup", "1000", "-measure", "4000", "-footprint", "0.02",
+		"-llc-sets", "16", "-meta-kb", "8")
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "workload=sphinx06") || !strings.Contains(stdout, "core 0: IPC") {
+		t.Errorf("stats header missing from stdout:\n%s", stdout)
+	}
+}
+
+// TestListStillWorks: -list bypasses spec validation entirely.
+func TestListStillWorks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs the CLI in a child process")
+	}
+	code, stdout, _ := run(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit %d", code)
+	}
+	if !strings.Contains(stdout, "workloads:") || !strings.Contains(stdout, "sphinx06") {
+		t.Errorf("-list output:\n%s", stdout)
+	}
+}

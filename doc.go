@@ -14,7 +14,8 @@
 //   - internal/{cache,cpu,dram,sim} — the simulated system of Table II
 //   - internal/workloads — synthetic SPEC/GAP-like benchmark suite
 //   - internal/exp — the experiment harness (one runner per table/figure)
-//   - cmd/{streamsim,experiments,tracegen} — executables
+//   - internal/serve — the simulation-as-a-service layer behind cmd/streamd
+//   - cmd/{streamsim,experiments,tracegen,streamd} — executables
 //   - examples/ — runnable scenarios built on the public pieces
 //
 // The benchmarks in bench_test.go regenerate a reduced version of every

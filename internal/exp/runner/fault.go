@@ -51,6 +51,17 @@ func (e *TimeoutError) Error() string {
 	return fmt.Sprintf("job %q timed out after %v", e.Key, e.After)
 }
 
+// PanicError reports a job attempt that panicked. The panic is converted to
+// a permanent error rather than crashing the pool; callers that must map
+// failure classes to responses (the serving daemon's status codes) can
+// errors.As for it.
+type PanicError struct {
+	Key   string
+	Value any
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
 // permanentError marks an error as non-retryable.
 type permanentError struct{ err error }
 
@@ -100,7 +111,7 @@ func Execute[T any](ctx context.Context, pol FaultPolicy, clock Clock, key strin
 // attemptOnce runs one panic-isolated attempt, bounded by pol.Timeout.
 func attemptOnce[T any](ctx context.Context, pol FaultPolicy, clock Clock, key string, fn func(context.Context) (T, error)) (T, error) {
 	if pol.Timeout <= 0 {
-		return protect(ctx, fn)
+		return protect(ctx, key, fn)
 	}
 	type outcome struct {
 		res T
@@ -108,7 +119,7 @@ func attemptOnce[T any](ctx context.Context, pol FaultPolicy, clock Clock, key s
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		res, err := protect(ctx, fn)
+		res, err := protect(ctx, key, fn)
 		done <- outcome{res, err}
 	}()
 	var zero T
@@ -122,12 +133,12 @@ func attemptOnce[T any](ctx context.Context, pol FaultPolicy, clock Clock, key s
 	}
 }
 
-// protect invokes fn converting a panic into a permanent error, so a single
-// bad job cannot take down the pool or the process.
-func protect[T any](ctx context.Context, fn func(context.Context) (T, error)) (res T, err error) {
+// protect invokes fn converting a panic into a permanent *PanicError, so a
+// single bad job cannot take down the pool or the process.
+func protect[T any](ctx context.Context, key string, fn func(context.Context) (T, error)) (res T, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			err = Permanent(fmt.Errorf("panic: %v", p))
+			err = Permanent(&PanicError{Key: key, Value: p})
 		}
 	}()
 	return fn(ctx)

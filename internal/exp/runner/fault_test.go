@@ -260,3 +260,21 @@ func TestPoolAppliesFaultPolicy(t *testing.T) {
 		t.Errorf("flaky job: result=%d attempts=%d; want 2 after 2 attempts", results[2], attempts[2])
 	}
 }
+
+// TestPanicErrorIsTyped: a panic surfaces as a *PanicError carrying the job
+// key and panic value, so callers can map the failure class (the daemon's
+// HTTP status codes) without string matching.
+func TestPanicErrorIsTyped(t *testing.T) {
+	_, err := Execute(context.Background(), FaultPolicy{}, nil, "bomb",
+		func(context.Context) (int, error) { panic("kaboom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *PanicError", err, err)
+	}
+	if pe.Key != "bomb" || pe.Value != "kaboom" {
+		t.Errorf("PanicError = %+v, want key bomb / value kaboom", pe)
+	}
+	if !IsPermanent(err) {
+		t.Error("panic error should be permanent")
+	}
+}

@@ -342,6 +342,25 @@ func (s *Store) Put(key, id string, payload any) error {
 	if err != nil {
 		return err
 	}
+	return s.PutRaw(key, id, raw)
+}
+
+// PutRaw is Put for callers that already hold the payload's exact JSON
+// encoding: the given bytes are stored and replayed verbatim by Get, so
+// responses built from them are byte-identical across cache hits and
+// restarts (the serving daemon relies on this). The bytes must be one JSON
+// value in encoding/json's canonical form (compact, HTML-escaped — exactly
+// what json.Marshal emits); anything else would re-encode differently inside
+// the record line and quarantine itself on the next open, so it is rejected
+// here instead.
+func (s *Store) PutRaw(key, id string, raw json.RawMessage) error {
+	if len(raw) == 0 || !json.Valid(raw) {
+		return fmt.Errorf("store: payload for %s (%s) is not a JSON value", key, id)
+	}
+	canon, err := json.Marshal(raw)
+	if err != nil || !bytes.Equal(canon, raw) {
+		return fmt.Errorf("store: payload for %s (%s) is not in canonical JSON form", key, id)
+	}
 	rec := Record{Key: key, ID: id, Sum: payloadSum(raw), Payload: raw}
 	line := append(mustMarshal(rec), '\n')
 

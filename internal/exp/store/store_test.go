@@ -378,3 +378,52 @@ func TestWriteFileAtomic(t *testing.T) {
 		t.Errorf("temp files left behind: %v", ents)
 	}
 }
+
+// TestPutRawVerbatimReplay: PutRaw stores the caller's exact bytes; Get and
+// a full close/reopen cycle replay them byte-identically (the daemon's
+// cached-response contract), while non-canonical payloads are rejected
+// before they could quarantine themselves on the next open.
+func TestPutRawVerbatimReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := json.Marshal(map[string]any{"ipc": 0.05, "name": "sphinx06"})
+	key := Key("raw", "one")
+	if err := s.PutRaw(key, "raw|one", raw); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, raw) {
+		t.Fatalf("Get = %q, %v; want the exact PutRaw bytes %q", got, ok, raw)
+	}
+
+	for name, bad := range map[string]string{
+		"whitespace":    `{"a": 1}`,
+		"trailing":      `{"a":1} `,
+		"not-json":      `{"a":`,
+		"empty":         ``,
+		"html-unescape": `"<script>"`,
+	} {
+		if err := s.PutRaw(Key("raw", name), name, json.RawMessage(bad)); err == nil {
+			t.Errorf("PutRaw accepted non-canonical payload %s (%q)", name, bad)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Quarantined() != 0 {
+		t.Errorf("reopen quarantined %d records after PutRaw", s2.Quarantined())
+	}
+	got, ok = s2.Get(key)
+	if !ok || !bytes.Equal(got, raw) {
+		t.Fatalf("reopened Get = %q, %v; want verbatim replay of %q", got, ok, raw)
+	}
+}

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestResultCacheLRU: capacity is enforced by recency — touching an entry
+// saves it from eviction, and the stored bytes come back verbatim.
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	c.add("a", []byte("A"))
+	c.add("b", []byte("B"))
+	if body, ok := c.get("a"); !ok || !bytes.Equal(body, []byte("A")) {
+		t.Fatalf("get a = %q, %v", body, ok)
+	}
+	c.add("c", []byte("C")) // "b" is now least recently used
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived eviction despite being LRU")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a was evicted despite a recent get")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+	c.add("a", []byte("A2")) // refresh replaces in place
+	if body, _ := c.get("a"); !bytes.Equal(body, []byte("A2")) {
+		t.Errorf("refresh: got %q, want A2", body)
+	}
+	if c.len() != 2 {
+		t.Errorf("len after refresh = %d, want 2", c.len())
+	}
+}
+
+// TestResultCacheConcurrent exercises the cache from many goroutines so the
+// race detector can vet its locking.
+func TestResultCacheConcurrent(t *testing.T) {
+	c := newResultCache(8)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%16)
+				c.add(key, []byte(key))
+				if body, ok := c.get(key); ok && string(body) != key {
+					t.Errorf("goroutine %d: got %q for %q", g, body, key)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if n := c.len(); n > 8 {
+		t.Errorf("cache grew past capacity: %d", n)
+	}
+}

@@ -1,0 +1,35 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// DecodeRequest parses one simulation request from r: strict JSON (unknown
+// fields and trailing data rejected, mirroring the sweep store's record
+// decoder), then Normalize — so the returned Spec is always validated,
+// defaulted, and safe to Key and simulate. The caller bounds r (the HTTP
+// handler wraps the body in http.MaxBytesReader).
+func DecodeRequest(r io.Reader) (Spec, error) {
+	var sp Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		return Spec{}, fmt.Errorf("malformed request: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return Spec{}, errors.New("malformed request: trailing data after JSON object")
+	}
+	if err := sp.Normalize(); err != nil {
+		return Spec{}, err
+	}
+	return sp, nil
+}
+
+// DecodeRequestBytes is DecodeRequest over a byte slice.
+func DecodeRequestBytes(data []byte) (Spec, error) {
+	return DecodeRequest(bytes.NewReader(data))
+}

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzRequestDecode feeds arbitrary bytes through the daemon's request
+// decoder and checks its safety properties: it never panics, everything it
+// accepts is a fully normalized spec whose identity is deterministic, and an
+// accepted spec survives a marshal/decode round trip unchanged — the
+// invariant the content-addressed cache rests on.
+//
+// The seed corpus under testdata/fuzz/FuzzRequestDecode covers the
+// interesting classes: a valid minimal request, a fully specified one, an
+// unknown workload, negative cores, an oversized padded body, and truncated
+// JSON.
+func FuzzRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"workload":"sphinx06"}`))
+	f.Add([]byte(tinyBody))
+	f.Add([]byte(`{"workload":"nope"}`))
+	f.Add([]byte(`{"workload":"sphinx06","cores":-3}`))
+	f.Add([]byte(`{"workload":"sphinx06","l1":"` + string(bytes.Repeat([]byte{'a'}, 4096)) + `"}`))
+	f.Add([]byte(`{"workload":"sph`))
+	f.Add([]byte(`{"workload":"sphinx06"} {}`))
+	f.Add([]byte(`{"workload":"sphinx06","footprint":1e-300}`))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := DecodeRequestBytes(data)
+		if err != nil {
+			return // rejection is fine; not panicking is the property
+		}
+		// Accepted implies normalized: a second Normalize is a no-op.
+		again := sp
+		if err := again.Normalize(); err != nil {
+			t.Fatalf("accepted spec fails re-normalization: %v\n%+v", err, sp)
+		}
+		if again != sp {
+			t.Fatalf("accepted spec is not normalization-stable:\n got %+v\nwas %+v", again, sp)
+		}
+		// Identity is a deterministic SHA-256 content address.
+		key := sp.Key()
+		if raw, err := hex.DecodeString(key); err != nil || len(raw) != 32 {
+			t.Fatalf("key %q is not a SHA-256 hex digest", key)
+		}
+		if sp.Key() != key {
+			t.Fatal("key is not deterministic")
+		}
+		// Marshal/decode round trip preserves the spec and its address.
+		enc, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatalf("marshal accepted spec: %v", err)
+		}
+		rt, err := DecodeRequestBytes(enc)
+		if err != nil {
+			t.Fatalf("round-trip decode rejected an accepted spec: %v\n%s", err, enc)
+		}
+		if rt != sp || rt.Key() != key {
+			t.Fatalf("round trip changed the spec:\n got %+v\nwas %+v", rt, sp)
+		}
+	})
+}
+
+// TestFuzzSeedCorpusCommitted pins the committed corpus so the fuzz smoke in
+// the verify skill always starts from the interesting request classes.
+func TestFuzzSeedCorpusCommitted(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzRequestDecode")
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("seed corpus missing: %v", err)
+	}
+	if len(ents) < 5 {
+		t.Fatalf("seed corpus has %d entries, want >= 5", len(ents))
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(data, []byte("go test fuzz v1\n")) {
+			t.Errorf("%s: not a go fuzz corpus file", e.Name())
+		}
+	}
+}

@@ -1,0 +1,421 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamline/internal/exp/runner"
+	"streamline/internal/exp/store"
+	"streamline/internal/sim"
+	"streamline/internal/telemetry"
+)
+
+// Config sizes one Server. Zero values select the documented defaults.
+type Config struct {
+	// Workers bounds concurrently executing simulations; <=0 means
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds admitted-but-unfinished distinct computations
+	// (running + waiting for a worker). A request that would exceed it is
+	// refused with 429 and Retry-After; <=0 means max(4, 4*Workers).
+	// Collapsed duplicates never consume queue slots.
+	QueueDepth int
+	// JobTimeout bounds one simulation's wall clock via the runner fault
+	// policy; an exceeded request answers 504. Zero means unbounded.
+	JobTimeout time.Duration
+	// MaxBodyBytes caps the request body; over-long bodies answer 413.
+	// <=0 means 1MB.
+	MaxBodyBytes int64
+	// CacheEntries sizes the in-memory LRU over response bodies; <=0
+	// means 256.
+	CacheEntries int
+	// Store, when non-nil, is the durable content-addressed result tier:
+	// every computed response is persisted (fsynced, checksummed) and
+	// replayed byte-identically across restarts.
+	Store *store.Store
+	// Telemetry, when non-nil, receives one per-request lifecycle event
+	// (component "serve"). Build its sink with telemetry.NewConcurrentSink:
+	// handlers emit from many goroutines.
+	Telemetry *telemetry.Collector
+}
+
+// Counters is a snapshot of the server's request accounting. Every request
+// lands in exactly one of: Invalid, MemoryHits, StoreHits, Collapsed,
+// Rejected, or the computation outcomes Computed/Failed.
+type Counters struct {
+	Requests   uint64 `json:"requests"`
+	Invalid    uint64 `json:"invalid"`
+	MemoryHits uint64 `json:"memoryHits"`
+	StoreHits  uint64 `json:"storeHits"`
+	Collapsed  uint64 `json:"collapsed"`
+	Computed   uint64 `json:"computed"`
+	Failed     uint64 `json:"failed"`
+	Rejected   uint64 `json:"rejected"`
+}
+
+// Status is the /statusz document.
+type Status struct {
+	Counters
+	Workers    int  `json:"workers"`
+	QueueDepth int  `json:"queueDepth"`
+	Queued     int  `json:"queued"`
+	InFlight   int  `json:"inFlight"`
+	Draining   bool `json:"draining"`
+	// HitRate is cache-served completions (memory + store + collapsed)
+	// over all completed lookups.
+	HitRate      float64 `json:"hitRate"`
+	CacheEntries int     `json:"cacheEntries"`
+	// StoreRecords is the durable tier's record count, or -1 without one.
+	StoreRecords  int     `json:"storeRecords"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+}
+
+// Server executes validated simulation requests on a bounded worker pool
+// with single-flight batching, an LRU response cache, an optional durable
+// store tier, and queue-full backpressure. Create with New; expose with
+// Handler; stop with Drain.
+type Server struct {
+	cfg   Config
+	cache *resultCache
+	sem   chan struct{} // worker slots
+
+	mu       sync.Mutex
+	flights  map[string]*flight
+	queued   int
+	draining bool
+
+	wg       sync.WaitGroup
+	inFlight atomic.Int64
+	seq      atomic.Uint64
+	start    time.Time
+
+	requests, invalid, memHits, storeHits atomic.Uint64
+	collapsed, computed, failed, rejected atomic.Uint64
+
+	hookMu      sync.Mutex
+	computeHook func(key string)
+}
+
+// flight is one in-progress computation; concurrent identical requests wait
+// on done and share its response.
+type flight struct {
+	done   chan struct{}
+	status int
+	body   []byte
+}
+
+// New returns a server over cfg with defaults applied.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = max(4, 4*cfg.Workers)
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 256
+	}
+	return &Server{
+		cfg:     cfg,
+		cache:   newResultCache(cfg.CacheEntries),
+		sem:     make(chan struct{}, cfg.Workers),
+		flights: make(map[string]*flight),
+		start:   time.Now(),
+	}
+}
+
+// Handler returns the daemon's HTTP surface: POST /simulate, GET /healthz,
+// GET /statusz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/simulate", s.handleSimulate)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	return mux
+}
+
+// SetComputeHook installs fn, invoked at the start of every cache-miss
+// computation (inside the fault policy) with the request key — the test seam
+// for saturating the queue and scripting timeouts deterministically.
+func (s *Server) SetComputeHook(fn func(key string)) {
+	s.hookMu.Lock()
+	s.computeHook = fn
+	s.hookMu.Unlock()
+}
+
+func (s *Server) getComputeHook() func(string) {
+	s.hookMu.Lock()
+	defer s.hookMu.Unlock()
+	return s.computeHook
+}
+
+// Counters returns a snapshot of the request accounting.
+func (s *Server) Counters() Counters {
+	return Counters{
+		Requests:   s.requests.Load(),
+		Invalid:    s.invalid.Load(),
+		MemoryHits: s.memHits.Load(),
+		StoreHits:  s.storeHits.Load(),
+		Collapsed:  s.collapsed.Load(),
+		Computed:   s.computed.Load(),
+		Failed:     s.failed.Load(),
+		Rejected:   s.rejected.Load(),
+	}
+}
+
+// Status returns the /statusz document.
+func (s *Server) Status() Status {
+	s.mu.Lock()
+	queued, draining := s.queued, s.draining
+	s.mu.Unlock()
+	st := Status{
+		Counters:      s.Counters(),
+		Workers:       s.cfg.Workers,
+		QueueDepth:    s.cfg.QueueDepth,
+		Queued:        queued,
+		InFlight:      int(s.inFlight.Load()),
+		Draining:      draining,
+		CacheEntries:  s.cache.len(),
+		StoreRecords:  -1,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	if s.cfg.Store != nil {
+		st.StoreRecords = s.cfg.Store.Len()
+	}
+	hits := st.MemoryHits + st.StoreHits + st.Collapsed
+	if total := hits + st.Computed + st.Failed; total > 0 {
+		st.HitRate = float64(hits) / float64(total)
+	}
+	return st
+}
+
+// Drain stops admitting new computations and waits for in-flight ones to
+// finish (and persist). It returns ctx's error if the deadline passes first.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// event emits one request-lifecycle telemetry event; seq (the request's
+// arrival number) stands in for the cycle field.
+func (s *Server) event(seq uint64, outcome, detail string) {
+	s.cfg.Telemetry.Eventf(seq, -1, "serve", outcome, telemetry.Info, "%s", detail)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Status())
+}
+
+// writeError answers a JSON error document.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{msg})
+}
+
+// respond serves a response body with its cache-tier tag ("none" for a fresh
+// computation, "flight" for a collapsed duplicate, "memory", "store").
+func respond(w http.ResponseWriter, body []byte, tier string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Streamd-Cache", tier)
+	w.Write(body)
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST a simulation request to /simulate")
+		return
+	}
+	seq := s.seq.Add(1)
+	s.requests.Add(1)
+
+	sp, err := DecodeRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.invalid.Add(1)
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.event(seq, "invalid", err.Error())
+		writeError(w, status, err.Error())
+		return
+	}
+	key := sp.Key()
+
+	// Tier 1: the in-memory LRU.
+	if body, ok := s.cache.get(key); ok {
+		s.memHits.Add(1)
+		s.event(seq, "hit-memory", sp.ID())
+		respond(w, body, "memory")
+		return
+	}
+	// Tier 2: the durable store (checksum-verified by Get).
+	if s.cfg.Store != nil {
+		if payload, ok := s.cfg.Store.Get(key); ok {
+			s.cache.add(key, payload)
+			s.storeHits.Add(1)
+			s.event(seq, "hit-store", sp.ID())
+			respond(w, payload, "store")
+			return
+		}
+	}
+	// Tier 3: single-flight on the in-progress computation, else admit.
+	s.mu.Lock()
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		s.collapsed.Add(1)
+		s.event(seq, "collapsed", sp.ID())
+		s.await(w, r, f, "flight")
+		return
+	}
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if s.queued >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		s.event(seq, "rejected", sp.ID())
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("queue full (%d computations admitted)", s.cfg.QueueDepth))
+		return
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.queued++
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go s.compute(seq, key, sp, f)
+	s.await(w, r, f, "none")
+}
+
+// await blocks until the flight completes (or the client goes away — the
+// computation keeps running for the other waiters and the cache).
+func (s *Server) await(w http.ResponseWriter, r *http.Request, f *flight, tier string) {
+	select {
+	case <-f.done:
+		if f.status == http.StatusOK {
+			respond(w, f.body, tier)
+		} else {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(f.status)
+			w.Write(f.body)
+		}
+	case <-r.Context().Done():
+	}
+}
+
+// compute runs one cache-miss simulation on a worker slot under the fault
+// policy, publishes the marshaled response to the durable store and the LRU
+// before releasing the flight, and never lets a panicking or hung job take
+// the daemon down.
+func (s *Server) compute(seq uint64, key string, sp Spec, f *flight) {
+	defer s.wg.Done()
+	s.sem <- struct{}{} // wait for a worker slot
+	s.inFlight.Add(1)
+
+	pol := runner.FaultPolicy{Timeout: s.cfg.JobTimeout}
+	res, err := runner.Execute(context.Background(), pol, nil, sp.ID(),
+		func(context.Context) (sim.Result, error) {
+			if hook := s.getComputeHook(); hook != nil {
+				hook(key)
+			}
+			cfg, err := sp.Config()
+			if err != nil {
+				return sim.Result{}, runner.Permanent(err)
+			}
+			sys, err := sp.NewSystem(cfg)
+			if err != nil {
+				return sim.Result{}, runner.Permanent(err)
+			}
+			return sys.Run(), nil
+		})
+
+	s.inFlight.Add(-1)
+	<-s.sem
+
+	var body []byte
+	status := http.StatusOK
+	if err == nil {
+		body, err = json.Marshal(BuildResult(sp, res))
+	}
+	if err != nil {
+		s.failed.Add(1)
+		status = http.StatusInternalServerError
+		var te *runner.TimeoutError
+		if errors.As(err, &te) {
+			status = http.StatusGatewayTimeout
+		}
+		doc, _ := json.Marshal(struct {
+			Error string `json:"error"`
+		}{err.Error()})
+		body = doc
+		s.event(seq, "failed", sp.ID()+": "+err.Error())
+	} else {
+		// Persist before publishing: a client that saw this response can
+		// rely on a restart replaying it (PutRaw fsyncs).
+		if s.cfg.Store != nil {
+			if perr := s.cfg.Store.PutRaw(key, sp.ID(), body); perr != nil {
+				s.event(seq, "store-error", perr.Error())
+			}
+		}
+		s.cache.add(key, body)
+		s.computed.Add(1)
+		s.event(seq, "computed", sp.ID())
+	}
+
+	f.status = status
+	f.body = body
+	close(f.done)
+
+	// Release the flight last: by now the result (if any) is already in the
+	// cache, so there is no window where neither tier covers the key.
+	s.mu.Lock()
+	delete(s.flights, key)
+	s.queued--
+	s.mu.Unlock()
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"sort"
+	"sync"
 )
 
 // DefaultEventLimit bounds retained event records per sink so a pathological
@@ -14,12 +15,17 @@ import (
 // by instructions/interval.
 const DefaultEventLimit = 4096
 
-// Sink serializes telemetry records to w as JSON Lines. It is not safe for
-// concurrent use; give each simulated system its own Sink (the experiment
-// runner does). A nil *Sink is a valid no-op sink.
+// Sink serializes telemetry records to w as JSON Lines. A sink from NewSink
+// is not safe for concurrent use; give each simulated system its own Sink
+// (the experiment runner does), or use NewConcurrentSink when multiple
+// goroutines share one (the serving daemon's request handlers). A nil *Sink
+// is a valid no-op sink.
 type Sink struct {
 	w   *bufio.Writer
 	err error
+
+	// mu, when non-nil, serializes record emission (NewConcurrentSink).
+	mu *sync.Mutex
 
 	minSev Severity
 	limit  int
@@ -38,6 +44,26 @@ func NewSink(w io.Writer) *Sink {
 		minSev: Info,
 		limit:  DefaultEventLimit,
 	}
+}
+
+// NewConcurrentSink returns a sink like NewSink whose record emission and
+// close are mutex-protected, so handlers on many goroutines can share it.
+// The severity and limit setters are still setup-time only: call them before
+// the first record is emitted.
+func NewConcurrentSink(w io.Writer) *Sink {
+	s := NewSink(w)
+	s.mu = &sync.Mutex{}
+	return s
+}
+
+// lock acquires the emission mutex when this sink is concurrent; the
+// returned function releases it (a no-op for single-goroutine sinks).
+func (s *Sink) lock() func() {
+	if s == nil || s.mu == nil {
+		return func() {}
+	}
+	s.mu.Lock()
+	return s.mu.Unlock
 }
 
 // SetMinSeverity sets the lowest severity of event records to retain.
@@ -85,6 +111,7 @@ func (s *Sink) Interval(r IntervalRecord) {
 	if s == nil {
 		return
 	}
+	defer s.lock()()
 	s.intervals++
 	s.emit(r)
 }
@@ -98,6 +125,7 @@ func (s *Sink) Event(e EventRecord) {
 	if !s.wants(severityOf(e.Severity)) {
 		return
 	}
+	defer s.lock()()
 	if s.events >= uint64(s.limit) {
 		if s.dropped == nil {
 			s.dropped = make(map[string]uint64)
@@ -142,6 +170,7 @@ func (s *Sink) Close() error {
 	if s == nil {
 		return nil
 	}
+	defer s.lock()()
 	sum := summaryRecord{
 		Type:      "summary",
 		Intervals: s.intervals,

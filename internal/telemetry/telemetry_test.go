@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -161,5 +162,48 @@ func TestDeterministicEncoding(t *testing.T) {
 	}
 	if a, b := render(), render(); a != b {
 		t.Errorf("two identical runs produced different output:\n%s\n----\n%s", a, b)
+	}
+}
+
+// TestConcurrentSinkIsRaceFree: many goroutines share one concurrent sink;
+// every emitted line must still be one valid JSON record and the closing
+// summary must account for every event (run under -race to prove the locking).
+func TestConcurrentSinkIsRaceFree(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewConcurrentSink(&buf)
+	s.SetEventLimit(1 << 20)
+	c := New(s, 0)
+
+	const goroutines, perG = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Eventf(uint64(i), -1, "serve", "request", Info, "g%d req %d", g, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := 0
+	var last map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("interleaved/corrupt JSONL line %q: %v", line, err)
+		}
+		lines++
+		last = rec
+	}
+	if want := goroutines*perG + 1; lines != want {
+		t.Errorf("sink wrote %d lines, want %d events + 1 summary", lines, want)
+	}
+	if last["type"] != "summary" || last["events"] != float64(goroutines*perG) {
+		t.Errorf("summary record wrong: %v", last)
 	}
 }
