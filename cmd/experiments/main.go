@@ -35,11 +35,13 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"streamline/internal/exp"
 	"streamline/internal/exp/runner"
 	"streamline/internal/exp/store"
+	"streamline/internal/metrics"
 )
 
 func main() {
@@ -59,6 +61,9 @@ func main() {
 		jobTimeout = flag.Duration("job-timeout", 0, "per-attempt wall-clock bound for one simulation (0: unbounded); a timed-out job becomes a GAP")
 		jobRetries = flag.Int("job-retries", 0, "additional attempts for a transiently failing simulation")
 		jobBackoff = flag.Duration("job-backoff", time.Second, "pause before a job's first retry, doubling per retry")
+
+		progress    = flag.Duration("progress", 0, "print a sweep-progress line (jobs completed/failed/retried/gapped/replayed) to stderr at this interval (0: off)")
+		metricsDest = flag.String("metrics", "", "write the final metrics exposition to this file at exit ('-' for stderr)")
 
 		telDir     = flag.String("telemetry-dir", "", "write per-simulation telemetry JSONL files into this directory")
 		sampleIvl  = flag.Uint64("sample-interval", 0, "measured instructions between telemetry samples per core (0: a tenth of the measured window)")
@@ -127,17 +132,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	exit := func(code int) {
-		stopProfiles()
-		os.Exit(code)
-	}
-
 	r := exp.NewRunner(sc)
 	r.Jobs = *jobs
 	r.Check = *check
 	r.Store = st
 	r.Fault = runner.FaultPolicy{Timeout: *jobTimeout, Retries: *jobRetries, Backoff: *jobBackoff}
 	r.FailKey = os.Getenv("EXPERIMENTS_FAIL_KEY")
+
+	// EnableMetrics must follow the Fault assignment (it hooks the policy).
+	reg := metrics.NewRegistry()
+	jm := r.EnableMetrics(reg)
+	stopProgress := startProgress(*progress, jm)
+	exit := func(code int) {
+		stopProgress()
+		if err := writeMetrics(*metricsDest, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		stopProfiles()
+		os.Exit(code)
+	}
 	if st != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %s holds %d completed job(s) (%d quarantined)\n",
 			st.Dir(), st.Loaded(), st.Quarantined())
@@ -228,7 +244,63 @@ func main() {
 			failedJobs, exp.GapCell)
 		exit(1)
 	}
-	stopProfiles()
+	exit(0)
+}
+
+// startProgress launches the periodic sweep-progress reporter: every ivl it
+// prints one line of runner counters to stderr (never stdout, which must stay
+// byte-identical across configurations). The returned stop function waits
+// for the reporter goroutine so no line races the final exit.
+func startProgress(ivl time.Duration, m *runner.Metrics) func() {
+	if ivl <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(ivl)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fmt.Fprintln(os.Stderr, progressLine(m))
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}
+
+// progressLine renders one sweep-progress report from the runner counters.
+func progressLine(m *runner.Metrics) string {
+	line := fmt.Sprintf("progress: %d completed, %d failed, %d retried, %d gapped, %d replayed",
+		m.Completed.Value(), m.Failed.Value(), m.Retries.Value(), m.Gapped.Value(), m.Replayed.Value())
+	if m.Attempts.Count() > 0 {
+		mean := time.Duration(m.Attempts.Mean() * float64(time.Second))
+		line += fmt.Sprintf(", mean attempt %v", mean.Round(time.Millisecond))
+	}
+	return line
+}
+
+// writeMetrics renders the final exposition at exit: to stderr for '-', or
+// atomically to a file. A sweep's stdout never carries metrics.
+func writeMetrics(dest string, reg *metrics.Registry) error {
+	switch dest {
+	case "":
+		return nil
+	case "-":
+		return reg.WriteText(os.Stderr)
+	}
+	return store.WriteFileAtomic(dest, reg.WriteText)
 }
 
 // openStore resolves the -checkpoint/-resume flags into an open result

@@ -143,6 +143,64 @@ func TestInjectedFailureDegrades(t *testing.T) {
 	}
 }
 
+// TestMetricsLeaveStdoutIdentical: -progress and -metrics are pure
+// observability — stdout stays byte-identical with them on, the progress
+// line lands on stderr, and the exposition file accounts every job.
+func TestMetricsLeaveStdoutIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs micro-scale simulations in child processes")
+	}
+	args := []string{"-run", "fig9", "-scale", "micro", "-jobs", "2", "-q"}
+
+	wantOut, _, code := run(t, nil, args...)
+	if code != 0 {
+		t.Fatalf("plain run exited %d", code)
+	}
+
+	dest := filepath.Join(t.TempDir(), "metrics.txt")
+	out, errOut, code := run(t, nil,
+		append(args, "-progress", "1ms", "-metrics", dest)...)
+	if code != 0 {
+		t.Fatalf("instrumented run exited %d\nstderr:\n%s", code, errOut)
+	}
+	if out != wantOut {
+		t.Errorf("-progress/-metrics changed stdout:\n--- want ---\n%s\n--- got ---\n%s", wantOut, out)
+	}
+	if !strings.Contains(errOut, "progress: ") || !strings.Contains(errOut, "completed") {
+		t.Errorf("no progress line on stderr:\n%s", errOut)
+	}
+
+	data, err := os.ReadFile(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{
+		"# TYPE runner_jobs_completed_total counter",
+		"runner_jobs_failed_total 0",
+		"runner_jobs_gapped_total 0",
+		"# TYPE runner_job_attempt_seconds histogram",
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition is missing %q:\n%s", want, text)
+		}
+	}
+	// Every simulation fig9 ran must be accounted as a completed job.
+	if !strings.Contains(text, "runner_jobs_completed_total ") ||
+		strings.Contains(text, "runner_jobs_completed_total 0\n") {
+		t.Errorf("no completed jobs counted:\n%s", text)
+	}
+
+	// '-' routes the exposition to stderr, still leaving stdout identical.
+	out, errOut, code = run(t, nil, append(args, "-metrics", "-")...)
+	if code != 0 || out != wantOut {
+		t.Fatalf("-metrics - run: exit %d, stdout identical=%v", code, out == wantOut)
+	}
+	if !strings.Contains(errOut, "# TYPE runner_jobs_completed_total counter") {
+		t.Errorf("exposition missing from stderr:\n%s", errOut)
+	}
+}
+
 // TestFlagValidation: bad invocations fail fast with exit 2 and a message
 // naming the problem, before any simulation starts.
 func TestFlagValidation(t *testing.T) {

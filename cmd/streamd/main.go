@@ -47,6 +47,8 @@ func main() {
 		drainWait    = flag.Duration("drain-timeout", time.Minute, "how long a SIGTERM drain waits for in-flight simulations")
 		telOut       = flag.String("telemetry", "", "write per-request lifecycle events as JSONL to this file")
 		telLevel     = flag.String("telemetry-level", "info", "minimum event severity to record: debug|info|warn")
+		accessOut    = flag.String("access-log", "", "write one structured JSONL record per request to this file")
+		slowReq      = flag.Duration("slow-request", 0, "requests at or over this wall clock carry their full stage breakdown in the access log (0: never)")
 	)
 	flag.Parse()
 
@@ -81,6 +83,18 @@ func main() {
 		col = telemetry.New(sink, 0)
 	}
 
+	var accessSink *telemetry.Sink
+	var accessFile *os.File
+	if *accessOut != "" {
+		f, err := os.Create(*accessOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		accessFile = f
+		accessSink = telemetry.NewConcurrentSink(f)
+	}
+
 	srv := serve.New(serve.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
@@ -89,6 +103,8 @@ func main() {
 		CacheEntries: *cacheEntries,
 		Store:        st,
 		Telemetry:    col,
+		AccessLog:    accessSink,
+		SlowRequest:  *slowReq,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -137,6 +153,17 @@ func main() {
 	}
 	if telFile != nil {
 		telFile.Close()
+	}
+	if accessSink != nil {
+		// Flush, not Close: the access log is pure JSONL records, no
+		// trailing summary.
+		if err := accessSink.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "streamd: access log: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if accessFile != nil {
+		accessFile.Close()
 	}
 	fmt.Fprintln(os.Stderr, "streamd: drained, bye")
 }

@@ -207,6 +207,97 @@ func TestKillAndRestartPersistence(t *testing.T) {
 	}
 }
 
+// TestObservabilityEndToEnd: the daemon started with -access-log and
+// -slow-request serves a scrapeable /metricz and, after a graceful drain,
+// leaves a valid JSONL access log whose IDs match the X-Streamd-Request
+// response headers.
+func TestObservabilityEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations in child processes")
+	}
+	logPath := t.TempDir() + "/access.jsonl"
+	d := startDaemon(t, "-access-log", logPath, "-slow-request", "1ns")
+
+	var ids []string
+	for i, wantTier := range []string{"none", "memory"} {
+		resp, err := http.Post("http://"+d.addr+"/simulate", "application/json",
+			strings.NewReader(tinySpec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Streamd-Cache") != wantTier {
+			t.Fatalf("request %d: status %d tier %q, want 200/%s",
+				i, resp.StatusCode, resp.Header.Get("X-Streamd-Cache"), wantTier)
+		}
+		id := resp.Header.Get("X-Streamd-Request")
+		if id == "" {
+			t.Fatalf("request %d carries no X-Streamd-Request header", i)
+		}
+		ids = append(ids, id)
+	}
+
+	mresp, err := http.Get("http://" + d.addr + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposition, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metricz: status %d", mresp.StatusCode)
+	}
+	for _, want := range []string{
+		`streamd_responses_total{outcome="computed"} 1`,
+		`streamd_responses_total{outcome="memory_hit"} 1`,
+		"runner_jobs_completed_total 1",
+	} {
+		if !strings.Contains(string(exposition), want+"\n") {
+			t.Errorf("/metricz is missing %q:\n%s", want, exposition)
+		}
+	}
+
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := d.wait(t); code != 0 {
+		t.Fatalf("SIGTERM exit code %d\nstderr:\n%s", code, d.stderrText())
+	}
+
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("access log holds %d lines, want 2:\n%s", len(lines), data)
+	}
+	for i, line := range lines {
+		var rec struct {
+			Type    string `json:"type"`
+			ID      string `json:"id"`
+			Status  int    `json:"status"`
+			Outcome string `json:"outcome"`
+			Slow    bool   `json:"slow"`
+			Stages  *struct {
+				SimulateUs int64 `json:"simulateUs"`
+			} `json:"stages"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("access log line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		if rec.Type != "access" || rec.Status != 200 {
+			t.Errorf("record %d: type %q status %d", i, rec.Type, rec.Status)
+		}
+		if rec.ID != ids[i] {
+			t.Errorf("record %d ID %q does not match response header %q", i, rec.ID, ids[i])
+		}
+		if !rec.Slow || rec.Stages == nil {
+			t.Errorf("record %d was not promoted by -slow-request 1ns: %s", i, line)
+		}
+	}
+}
+
 // TestDaemonFlagValidation: bad invocations exit 2 before binding a socket.
 func TestDaemonFlagValidation(t *testing.T) {
 	cmd := exec.Command(os.Args[0], "-telemetry-level", "loud")

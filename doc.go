@@ -15,6 +15,8 @@
 //   - internal/workloads — synthetic SPEC/GAP-like benchmark suite
 //   - internal/exp — the experiment harness (one runner per table/figure)
 //   - internal/serve — the simulation-as-a-service layer behind cmd/streamd
+//   - internal/metrics — counters/gauges/histograms with Prometheus text
+//     exposition, shared by the daemon and the sweep runner
 //   - cmd/{streamsim,experiments,tracegen,streamd} — executables
 //   - examples/ — runnable scenarios built on the public pieces
 //

@@ -261,7 +261,7 @@ func TestFullyReservedSetRefusesFills(t *testing.T) {
 func TestLookupSkipsReservedWays(t *testing.T) {
 	c := New(testConfig())
 	c.Fill(loadAt(0), 0, SrcDemand) // lands in way 0 (first free)
-	c.Reserve(0, 1)             // way 0 now reserved; line flushed
+	c.Reserve(0, 1)                 // way 0 now reserved; line flushed
 	if r := c.Lookup(0, loadAt(0)); r.Hit {
 		t.Error("hit a line in a reserved way")
 	}

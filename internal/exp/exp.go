@@ -27,6 +27,7 @@ import (
 	"streamline/internal/exp/runner"
 	"streamline/internal/exp/store"
 	"streamline/internal/meta"
+	"streamline/internal/metrics"
 	"streamline/internal/prefetch"
 	"streamline/internal/prefetch/berti"
 	"streamline/internal/prefetch/bingo"
@@ -360,6 +361,21 @@ func (r *Runner) Derived(sc Scale) *Runner {
 	return nr
 }
 
+// EnableMetrics resolves the runner_job_* instrument family on reg and wires
+// it into this runner: Execute-level accounting via the fault policy, gap
+// counting via the failure log, and replay counting via the resume path.
+// Call it after assigning Fault (assigning Fault later would discard the
+// hook). Derived runners inherit the wiring — the fault policy is copied and
+// the failure log is shared — so a sweep's counters are complete.
+func (r *Runner) EnableMetrics(reg *metrics.Registry) *runner.Metrics {
+	m := runner.NewMetrics(reg)
+	r.Fault.Metrics = m
+	r.fails.mu.Lock()
+	r.fails.metrics = m
+	r.fails.mu.Unlock()
+	return m
+}
+
 // ---- failure accounting ---------------------------------------------------
 
 // JobFailure records one permanently failed job: its result is a
@@ -376,6 +392,8 @@ type failureLog struct {
 	order   []JobFailure
 	keys    map[string]bool
 	drained int
+	// metrics, when set by EnableMetrics, counts each newly gapped key.
+	metrics *runner.Metrics
 }
 
 func newFailureLog() *failureLog { return &failureLog{keys: make(map[string]bool)} }
@@ -388,6 +406,7 @@ func (l *failureLog) add(key string, err error) {
 	}
 	l.keys[key] = true
 	l.order = append(l.order, JobFailure{Key: key, Err: err})
+	l.metrics.GapInc()
 }
 
 func (l *failureLog) has(key string) bool {
@@ -537,6 +556,7 @@ func (r *Runner) computeOrReplay(key string, arm Arm, mix []string, cores int, b
 			var res sim.Result
 			if err := json.Unmarshal(payload, &res); err == nil {
 				r.resumed.Add(1)
+				r.Fault.Metrics.ReplayInc()
 				r.logf("  [cached] %s\n", key)
 				return res, nil
 			}

@@ -26,6 +26,10 @@ type FaultPolicy struct {
 	Retries int
 	// Backoff is the pause before the first retry, doubling per retry.
 	Backoff time.Duration
+	// Metrics, when non-nil, receives per-attempt accounting from Execute:
+	// an Attempts observation per attempt, a Retries count per retry, and a
+	// Completed/Failed count per final outcome. See NewMetrics.
+	Metrics *Metrics
 }
 
 // Clock abstracts time for the fault machinery so tests inject a fake and
@@ -95,14 +99,19 @@ func Execute[T any](ctx context.Context, pol FaultPolicy, clock Clock, key strin
 	var err error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
+			pol.Metrics.retried()
 			clock.Sleep(pol.Backoff << (attempt - 1))
 		}
+		start := time.Now()
 		var res T
 		res, err = attemptOnce(ctx, pol, clock, key, fn)
+		pol.Metrics.attempt(time.Since(start))
 		if err == nil {
+			pol.Metrics.completed()
 			return res, nil
 		}
 		if IsPermanent(err) || attempt >= pol.Retries || ctx.Err() != nil {
+			pol.Metrics.failed()
 			return zero, err
 		}
 	}

@@ -24,7 +24,7 @@ func FuzzStoreDecode(f *testing.F) {
 		Sum: payloadSum(raw), Payload: raw,
 	})
 	f.Add(append(valid, '\n'))
-	f.Add(valid[:len(valid)/2])                       // truncated mid-record
+	f.Add(valid[:len(valid)/2]) // truncated mid-record
 	flipped := append([]byte{}, valid...)
 	flipped[bytes.Index(flipped, []byte(`"n":1`))+4] = '2' // payload bit-flip
 	f.Add(append(flipped, '\n'))

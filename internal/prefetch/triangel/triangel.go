@@ -269,8 +269,8 @@ func New(cfg Config, bridge meta.Bridge) *Prefetcher {
 		storeCfg = *cfg.StoreOverride
 	}
 	p := &Prefetcher{
-		cfg:    cfg,
-		store:  meta.NewStore(storeCfg, bridge),
+		cfg:   cfg,
+		store: meta.NewStore(storeCfg, bridge),
 		tu:    make([]tuEntry, cfg.TUSize),
 		hs:    make([][]hsEntry, cfg.HSSets),
 		scs:   make([]scsEntry, cfg.SCSSize),

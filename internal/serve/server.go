@@ -13,6 +13,7 @@ import (
 
 	"streamline/internal/exp/runner"
 	"streamline/internal/exp/store"
+	"streamline/internal/metrics"
 	"streamline/internal/sim"
 	"streamline/internal/telemetry"
 )
@@ -44,11 +45,24 @@ type Config struct {
 	// (component "serve"). Build its sink with telemetry.NewConcurrentSink:
 	// handlers emit from many goroutines.
 	Telemetry *telemetry.Collector
+	// AccessLog, when non-nil, receives one AccessRecord JSONL line per
+	// /simulate request (see accesslog.go). Build it with
+	// telemetry.NewConcurrentSink — handlers emit from many goroutines —
+	// and finalize with its Flush, not Close.
+	AccessLog *telemetry.Sink
+	// SlowRequest, when positive, promotes the full stage breakdown of any
+	// request at least this slow into its access-log record.
+	SlowRequest time.Duration
+	// Metrics, when non-nil, is the registry /metricz renders and the
+	// server's instruments live in; nil means the server creates its own.
+	// Pass a shared registry to combine the daemon's serving metrics with
+	// other subsystems' on one exposition.
+	Metrics *metrics.Registry
 }
 
 // Counters is a snapshot of the server's request accounting. Every request
 // lands in exactly one of: Invalid, MemoryHits, StoreHits, Collapsed,
-// Rejected, or the computation outcomes Computed/Failed.
+// Rejected, DrainRefused, or the computation outcomes Computed/Failed.
 type Counters struct {
 	Requests   uint64 `json:"requests"`
 	Invalid    uint64 `json:"invalid"`
@@ -58,6 +72,9 @@ type Counters struct {
 	Computed   uint64 `json:"computed"`
 	Failed     uint64 `json:"failed"`
 	Rejected   uint64 `json:"rejected"`
+	// DrainRefused counts requests refused with 503 because the server was
+	// draining when they asked for a new computation.
+	DrainRefused uint64 `json:"drainRefused"`
 }
 
 // Status is the /statusz document.
@@ -95,20 +112,31 @@ type Server struct {
 	inFlight atomic.Int64
 	seq      atomic.Uint64
 	start    time.Time
+	// boot is a per-process nonce prefixed to request IDs so IDs stay
+	// unique across daemon restarts sharing one access log.
+	boot    string
+	metrics *serverMetrics
+	// jobMetrics exports cache-miss computations into the shared
+	// runner_job_* instrument family on the same registry.
+	jobMetrics *runner.Metrics
 
 	requests, invalid, memHits, storeHits atomic.Uint64
 	collapsed, computed, failed, rejected atomic.Uint64
+	drainRefused                          atomic.Uint64
 
 	hookMu      sync.Mutex
 	computeHook func(key string)
 }
 
 // flight is one in-progress computation; concurrent identical requests wait
-// on done and share its response.
+// on done and share its response. stages is written by the computing
+// goroutine before done closes, so waiters that observed the close may read
+// it (the originating request promotes it into its access record).
 type flight struct {
 	done   chan struct{}
 	status int
 	body   []byte
+	stages StageTimings
 }
 
 // New returns a server over cfg with defaults applied.
@@ -125,23 +153,34 @@ func New(cfg Config) *Server {
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = 256
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		cache:   newResultCache(cfg.CacheEntries),
 		sem:     make(chan struct{}, cfg.Workers),
 		flights: make(map[string]*flight),
 		start:   time.Now(),
 	}
+	s.boot = fmt.Sprintf("%08x", uint32(s.start.UnixNano()))
+	s.metrics = newServerMetrics(s, cfg.Metrics)
+	s.jobMetrics = runner.NewMetrics(s.metrics.reg)
+	return s
 }
 
 // Handler returns the daemon's HTTP surface: POST /simulate, GET /healthz,
-// GET /statusz.
+// GET /statusz, GET /metricz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/simulate", s.handleSimulate)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/metricz", s.handleMetricz)
 	return mux
+}
+
+// requestID builds the ID exposed as X-Streamd-Request and threaded through
+// the access log and per-request telemetry events.
+func (s *Server) requestID(seq uint64) string {
+	return fmt.Sprintf("%s-%06d", s.boot, seq)
 }
 
 // SetComputeHook installs fn, invoked at the start of every cache-miss
@@ -162,14 +201,15 @@ func (s *Server) getComputeHook() func(string) {
 // Counters returns a snapshot of the request accounting.
 func (s *Server) Counters() Counters {
 	return Counters{
-		Requests:   s.requests.Load(),
-		Invalid:    s.invalid.Load(),
-		MemoryHits: s.memHits.Load(),
-		StoreHits:  s.storeHits.Load(),
-		Collapsed:  s.collapsed.Load(),
-		Computed:   s.computed.Load(),
-		Failed:     s.failed.Load(),
-		Rejected:   s.rejected.Load(),
+		Requests:     s.requests.Load(),
+		Invalid:      s.invalid.Load(),
+		MemoryHits:   s.memHits.Load(),
+		StoreHits:    s.storeHits.Load(),
+		Collapsed:    s.collapsed.Load(),
+		Computed:     s.computed.Load(),
+		Failed:       s.failed.Load(),
+		Rejected:     s.rejected.Load(),
+		DrainRefused: s.drainRefused.Load(),
 	}
 }
 
@@ -225,6 +265,9 @@ func (s *Server) event(seq uint64, outcome, detail string) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !allowGetHead(w, r) {
+		return
+	}
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
@@ -233,23 +276,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if r.Method == http.MethodHead {
+		return
+	}
 	fmt.Fprintln(w, "ok")
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	if !allowGetHead(w, r) {
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	if r.Method == http.MethodHead {
+		return
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(s.Status())
 }
 
-// writeError answers a JSON error document.
-func writeError(w http.ResponseWriter, status int, msg string) {
+// writeError answers a JSON error document, returning its body length.
+func writeError(w http.ResponseWriter, status int, msg string) int {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(struct {
+	doc, _ := json.Marshal(struct {
 		Error string `json:"error"`
 	}{msg})
+	doc = append(doc, '\n')
+	n, _ := w.Write(doc)
+	return n
 }
 
 // respond serves a response body with its cache-tier tag ("none" for a fresh
@@ -268,8 +323,14 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	seq := s.seq.Add(1)
 	s.requests.Add(1)
+	span := &accessSpan{id: s.requestID(seq), t0: time.Now()}
+	w.Header().Set("X-Streamd-Request", span.id)
 
+	tDecode := time.Now()
 	sp, err := DecodeRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	decode := time.Since(tDecode)
+	span.stages.DecodeUs = us(decode)
+	s.metrics.observeStage(stageDecode, decode)
 	if err != nil {
 		s.invalid.Add(1)
 		status := http.StatusBadRequest
@@ -278,27 +339,42 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusRequestEntityTooLarge
 		}
 		s.event(seq, "invalid", err.Error())
-		writeError(w, status, err.Error())
+		n := writeError(w, status, err.Error())
+		s.finish(span, status, "invalid", "", n)
 		return
 	}
+	span.spec = sp.ID()
 	key := sp.Key()
 
-	// Tier 1: the in-memory LRU.
-	if body, ok := s.cache.get(key); ok {
+	// Tiers 1 and 2: the in-memory LRU, then the durable store
+	// (checksum-verified by Get). Both probes share the lookup span.
+	tLookup := time.Now()
+	body, hit := s.cache.get(key)
+	var lookupTier string
+	if hit {
+		lookupTier = "memory"
+	} else if s.cfg.Store != nil {
+		if payload, ok := s.cfg.Store.Get(key); ok {
+			s.cache.add(key, payload)
+			body, lookupTier = payload, "store"
+		}
+	}
+	lookup := time.Since(tLookup)
+	span.stages.LookupUs = us(lookup)
+	s.metrics.observeStage(stageLookup, lookup)
+	switch lookupTier {
+	case "memory":
 		s.memHits.Add(1)
 		s.event(seq, "hit-memory", sp.ID())
 		respond(w, body, "memory")
+		s.finish(span, http.StatusOK, "memory-hit", "memory", len(body))
 		return
-	}
-	// Tier 2: the durable store (checksum-verified by Get).
-	if s.cfg.Store != nil {
-		if payload, ok := s.cfg.Store.Get(key); ok {
-			s.cache.add(key, payload)
-			s.storeHits.Add(1)
-			s.event(seq, "hit-store", sp.ID())
-			respond(w, payload, "store")
-			return
-		}
+	case "store":
+		s.storeHits.Add(1)
+		s.event(seq, "hit-store", sp.ID())
+		respond(w, body, "store")
+		s.finish(span, http.StatusOK, "store-hit", "store", len(body))
+		return
 	}
 	// Tier 3: single-flight on the in-progress computation, else admit.
 	s.mu.Lock()
@@ -306,12 +382,16 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		s.collapsed.Add(1)
 		s.event(seq, "collapsed", sp.ID())
-		s.await(w, r, f, "flight")
+		s.settle(w, r, span, f, "flight", "collapsed")
 		return
 	}
 	if s.draining {
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		s.drainRefused.Add(1)
+		s.event(seq, "drain-refused", sp.ID())
+		w.Header().Set("Retry-After", "1")
+		n := writeError(w, http.StatusServiceUnavailable, "draining")
+		s.finish(span, http.StatusServiceUnavailable, "drain-refused", "", n)
 		return
 	}
 	if s.queued >= s.cfg.QueueDepth {
@@ -319,8 +399,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.rejected.Add(1)
 		s.event(seq, "rejected", sp.ID())
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests,
+		n := writeError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("queue full (%d computations admitted)", s.cfg.QueueDepth))
+		s.finish(span, http.StatusTooManyRequests, "rejected", "", n)
 		return
 	}
 	f := &flight{done: make(chan struct{})}
@@ -329,23 +410,36 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.wg.Add(1)
 	s.mu.Unlock()
 
-	go s.compute(seq, key, sp, f)
-	s.await(w, r, f, "none")
+	go s.compute(seq, key, sp, f, time.Now())
+	s.settle(w, r, span, f, "none", "computed")
 }
 
-// await blocks until the flight completes (or the client goes away — the
-// computation keeps running for the other waiters and the cache).
-func (s *Server) await(w http.ResponseWriter, r *http.Request, f *flight, tier string) {
+// settle awaits the flight, serves its response, and closes the request's
+// access span. The originating request ("none") inherits the flight's
+// compute-side stage spans; a client that goes away before the flight
+// completes is logged as abandoned (the computation keeps running for the
+// other waiters and the cache).
+func (s *Server) settle(w http.ResponseWriter, r *http.Request, span *accessSpan, f *flight, tier, outcome string) {
 	select {
 	case <-f.done:
+		if tier == "none" {
+			span.stages.QueueWaitUs = f.stages.QueueWaitUs
+			span.stages.SimulateUs = f.stages.SimulateUs
+			span.stages.MarshalUs = f.stages.MarshalUs
+			span.stages.PersistUs = f.stages.PersistUs
+		}
 		if f.status == http.StatusOK {
 			respond(w, f.body, tier)
-		} else {
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(f.status)
-			w.Write(f.body)
+			s.finish(span, f.status, outcome, tier, len(f.body))
+			return
 		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(f.status)
+		w.Write(f.body)
+		s.finish(span, f.status, "failed", tier, len(f.body))
 	case <-r.Context().Done():
+		// 499: nginx's "client closed request" — never sent, log-only.
+		s.finish(span, 499, "abandoned", tier, 0)
 	}
 }
 
@@ -353,12 +447,16 @@ func (s *Server) await(w http.ResponseWriter, r *http.Request, f *flight, tier s
 // policy, publishes the marshaled response to the durable store and the LRU
 // before releasing the flight, and never lets a panicking or hung job take
 // the daemon down.
-func (s *Server) compute(seq uint64, key string, sp Spec, f *flight) {
+func (s *Server) compute(seq uint64, key string, sp Spec, f *flight, admitted time.Time) {
 	defer s.wg.Done()
 	s.sem <- struct{}{} // wait for a worker slot
+	queueWait := time.Since(admitted)
+	f.stages.QueueWaitUs = us(queueWait)
+	s.metrics.observeStage(stageQueueWait, queueWait)
 	s.inFlight.Add(1)
 
-	pol := runner.FaultPolicy{Timeout: s.cfg.JobTimeout}
+	tSim := time.Now()
+	pol := runner.FaultPolicy{Timeout: s.cfg.JobTimeout, Metrics: s.jobMetrics}
 	res, err := runner.Execute(context.Background(), pol, nil, sp.ID(),
 		func(context.Context) (sim.Result, error) {
 			if hook := s.getComputeHook(); hook != nil {
@@ -374,6 +472,9 @@ func (s *Server) compute(seq uint64, key string, sp Spec, f *flight) {
 			}
 			return sys.Run(), nil
 		})
+	simulate := time.Since(tSim)
+	f.stages.SimulateUs = us(simulate)
+	s.metrics.observeStage(stageSimulate, simulate)
 
 	s.inFlight.Add(-1)
 	<-s.sem
@@ -381,7 +482,11 @@ func (s *Server) compute(seq uint64, key string, sp Spec, f *flight) {
 	var body []byte
 	status := http.StatusOK
 	if err == nil {
+		tMarshal := time.Now()
 		body, err = json.Marshal(BuildResult(sp, res))
+		marshal := time.Since(tMarshal)
+		f.stages.MarshalUs = us(marshal)
+		s.metrics.observeStage(stageMarshal, marshal)
 	}
 	if err != nil {
 		s.failed.Add(1)
@@ -399,9 +504,13 @@ func (s *Server) compute(seq uint64, key string, sp Spec, f *flight) {
 		// Persist before publishing: a client that saw this response can
 		// rely on a restart replaying it (PutRaw fsyncs).
 		if s.cfg.Store != nil {
+			tPersist := time.Now()
 			if perr := s.cfg.Store.PutRaw(key, sp.ID(), body); perr != nil {
 				s.event(seq, "store-error", perr.Error())
 			}
+			persist := time.Since(tPersist)
+			f.stages.PersistUs = us(persist)
+			s.metrics.observeStage(stagePersist, persist)
 		}
 		s.cache.add(key, body)
 		s.computed.Add(1)

@@ -106,6 +106,36 @@ func (s *Sink) emit(v any) {
 	s.err = s.w.WriteByte('\n')
 }
 
+// Record writes one foreign record as a JSONL line, outside the
+// event/interval accounting: no severity filter, no retention bound, and no
+// contribution to the closing summary. It serves JSONL streams that are not
+// simulator telemetry — the daemon's access log — but want the same
+// buffered, mutex-guarded, first-error-sticky emission. Pair with Flush
+// rather than Close so the stream stays homogeneous (one record shape, no
+// trailing summary line).
+func (s *Sink) Record(v any) {
+	if s == nil {
+		return
+	}
+	defer s.lock()()
+	s.emit(v)
+}
+
+// Flush writes buffered output without the closing summary record — the
+// finalizer for sinks carrying foreign records (see Record), where a
+// summary line would corrupt the stream. It returns the first error
+// encountered over the sink's lifetime.
+func (s *Sink) Flush() error {
+	if s == nil {
+		return nil
+	}
+	defer s.lock()()
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
 // Interval writes one interval record (never filtered or dropped).
 func (s *Sink) Interval(r IntervalRecord) {
 	if s == nil {
