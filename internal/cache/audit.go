@@ -17,6 +17,35 @@ func (c *Cache) ForEachLine(f func(set, way int, l mem.Line)) {
 	}
 }
 
+// LineState is the full observable state of one resident data line, for
+// external differential checkers that mirror the cache's contents.
+type LineState struct {
+	Set, Way   int
+	Line       mem.Line
+	Dirty      bool
+	Prefetched bool
+	Src        Source
+	ReadyAt    uint64
+}
+
+// ForEachLineState visits every valid data line with its complete state, in
+// set-then-way order. Read-only; the differential oracle uses it to compare
+// the cache's contents against the reference model's.
+func (c *Cache) ForEachLineState(f func(LineState)) {
+	for s := range c.sets {
+		for w := c.reserved[s]; w < c.cfg.Ways; w++ {
+			ln := &c.sets[s][w]
+			if ln.valid {
+				f(LineState{
+					Set: s, Way: w, Line: ln.tag,
+					Dirty: ln.dirty, Prefetched: ln.prefetched,
+					Src: ln.src, ReadyAt: ln.readyAt,
+				})
+			}
+		}
+	}
+}
+
 // AuditScan verifies the cache's structural invariants against a, reporting
 // each breach at cycle now. All checks are read-only.
 //
@@ -31,13 +60,19 @@ func (c *Cache) ForEachLine(f func(set, way int, l mem.Line)) {
 //     detection; the scan runs between accesses, when none are in flight);
 //   - counter identities: demand hits + misses = accesses, useful
 //     prefetches never exceed demand hits, writebacks never exceed
-//     evictions, prefetch hits never exceed prefetch accesses.
+//     evictions, prefetch hits never exceed prefetch accesses;
+//   - source-sum identities: the aggregate prefetch counters equal the sum
+//     of their per-source attributions, and SrcDemand carries none;
+//   - lifecycle partition: per source, fills = useful + evicted-unused +
+//     still-resident prefetched lines (counted by the same scan), so no
+//     prefetched line ever leaves the cache unaccounted.
 func (c *Cache) AuditScan(a *audit.Auditor, now uint64) {
 	if a == nil {
 		return
 	}
 	name := c.cfg.Name
 	valid := 0
+	var residentPF [NumSources]uint64
 	for s := range c.sets {
 		rsv := c.reserved[s]
 		if rsv < 0 || rsv > c.cfg.Ways {
@@ -51,6 +86,9 @@ func (c *Cache) AuditScan(a *audit.Auditor, now uint64) {
 				continue
 			}
 			valid++
+			if ln.prefetched && w >= rsv {
+				residentPF[ln.src]++
+			}
 			if w < rsv {
 				a.Reportf(now, name, "data-in-reserved-way",
 					"set %d way %d holds line %#x inside the %d reserved ways",
@@ -90,5 +128,43 @@ func (c *Cache) AuditScan(a *audit.Auditor, now uint64) {
 	if st.PrefetchHits > st.PrefetchAccesses {
 		a.Reportf(now, name, "prefetch-hit-accounting",
 			"prefetch hits %d > prefetch accesses %d", st.PrefetchHits, st.PrefetchAccesses)
+	}
+	var fills, timely, late, evicted uint64
+	for _, ss := range st.Sources {
+		fills += ss.Fills
+		timely += ss.UsefulTimely
+		late += ss.UsefulLate
+		evicted += ss.EvictedUnused
+	}
+	if fills != st.PrefetchFills {
+		a.Reportf(now, name, "source-sum",
+			"per-source fills sum to %d, aggregate PrefetchFills is %d", fills, st.PrefetchFills)
+	}
+	if timely+late != st.UsefulPrefetches {
+		a.Reportf(now, name, "source-sum",
+			"per-source useful sum to %d, aggregate UsefulPrefetches is %d",
+			timely+late, st.UsefulPrefetches)
+	}
+	if late != st.LatePrefetches {
+		a.Reportf(now, name, "source-sum",
+			"per-source useful-late sum to %d, aggregate LatePrefetches is %d",
+			late, st.LatePrefetches)
+	}
+	if evicted != st.UnusedPrefetches {
+		a.Reportf(now, name, "source-sum",
+			"per-source evicted-unused sum to %d, aggregate UnusedPrefetches is %d",
+			evicted, st.UnusedPrefetches)
+	}
+	if d := st.Sources[SrcDemand]; d != (SourceStats{}) {
+		a.Reportf(now, name, "source-sum",
+			"SrcDemand carries prefetch lifecycle counts %+v", d)
+	}
+	for src, ss := range st.Sources {
+		if ss.Fills != ss.UsefulTimely+ss.UsefulLate+ss.EvictedUnused+residentPF[src] {
+			a.Reportf(now, name, "lifecycle-partition",
+				"source %s: fills %d != useful %d + evicted-unused %d + resident %d",
+				Source(src), ss.Fills, ss.UsefulTimely+ss.UsefulLate,
+				ss.EvictedUnused, residentPF[src])
+		}
 	}
 }

@@ -497,6 +497,14 @@ func (c *Cache) Reserve(s, ways int) (flushed, dirty int) {
 			if ln.dirty {
 				dirty++
 			}
+			// A flushed line that was prefetched and never demand-hit left
+			// the cache unused, exactly like a replacement eviction; without
+			// this the per-source lifecycle partition (fills = useful +
+			// evicted-unused + still-resident) leaks one line per flush.
+			if ln.prefetched {
+				c.Stats.UnusedPrefetches++
+				c.Stats.Sources[ln.src].EvictedUnused++
+			}
 			c.repl.Evict(s, w)
 			*ln = line{}
 		}

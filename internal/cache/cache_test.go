@@ -430,3 +430,34 @@ func TestMarkDirty(t *testing.T) {
 		t.Errorf("writebacks = %d, want 1", c.Stats.Writebacks)
 	}
 }
+
+// TestReserveFlushCountsUnusedPrefetch pins the fix for a lifecycle leak
+// the differential oracle flagged: a prefetched line flushed by a way
+// reservation left the cache without a demand hit, but Reserve did not
+// count it as evicted-unused, so the per-source partition (fills = useful +
+// evicted-unused + still-resident) leaked one line per repartition flush.
+func TestReserveFlushCountsUnusedPrefetch(t *testing.T) {
+	c := New(testConfig())
+	// Way 0 of set 2 holds an unused temporal prefetch; way 1 a used one.
+	pf := mem.Access{Addr: mem.AddrOf(2), Kind: mem.Prefetch}
+	c.Fill(pf, 0, SrcTemporal)
+	used := mem.Access{Addr: mem.AddrOf(2 + 16), Kind: mem.Prefetch}
+	c.Fill(used, 0, SrcTemporal)
+	c.Lookup(1, loadAt(2+16)) // demand hit consumes the prefetch bit
+
+	flushed, _ := c.Reserve(2, c.Ways())
+	if flushed != 2 {
+		t.Fatalf("flushed = %d, want 2", flushed)
+	}
+	if c.Stats.UnusedPrefetches != 1 {
+		t.Errorf("UnusedPrefetches = %d, want 1 (the unused flushed line)", c.Stats.UnusedPrefetches)
+	}
+	if got := c.Stats.Sources[SrcTemporal].EvictedUnused; got != 1 {
+		t.Errorf("Sources[temporal].EvictedUnused = %d, want 1", got)
+	}
+	// The partition closes: fills = useful + evicted-unused, nothing resident.
+	ss := c.Stats.Sources[SrcTemporal]
+	if ss.Fills != ss.UsefulTimely+ss.UsefulLate+ss.EvictedUnused {
+		t.Errorf("lifecycle partition leaks: %+v", ss)
+	}
+}

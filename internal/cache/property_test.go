@@ -116,6 +116,78 @@ func TestPropertyFillThenProbe(t *testing.T) {
 	}
 }
 
+// TestPropertyLookupResidentEquivalence: LookupResident must be
+// decision-identical to the Probe-then-Lookup sequence it replaced on the
+// promote path — same hit/miss answer, same LookupResult, same statistics,
+// and the same resident-line state afterwards — for every geometry, cache
+// history, and randomized probe stream. Two identically-driven caches are
+// advanced in lockstep, one per protocol.
+func TestPropertyLookupResidentEquivalence(t *testing.T) {
+	f := func(setSel, waySel uint8, ops []uint16, probes []uint16) bool {
+		one := New(anyGeometry(setSel, waySel))
+		two := New(anyGeometry(setSel, waySel))
+		driveOps(one, ops)
+		driveOps(two, ops)
+
+		now := uint64(0)
+		for i, p := range probes {
+			now += uint64(p%7) + 1
+			l := mem.Line(p >> 4)
+			kind := mem.Load
+			switch p % 3 {
+			case 1:
+				kind = mem.Store
+			case 2:
+				kind = mem.Prefetch
+			}
+			acc := mem.Access{Addr: mem.AddrOf(l), Kind: kind}
+
+			r1, ok1 := one.LookupResident(now, acc)
+			var r2 LookupResult
+			ok2 := two.Probe(l)
+			if ok2 {
+				r2 = two.Lookup(now, acc)
+			}
+			if ok1 != ok2 || r1 != r2 {
+				t.Logf("probe %d line %#x kind %v: LookupResident (%+v,%v) vs Probe+Lookup (%+v,%v)",
+					i, uint64(l), kind, r1, ok1, r2, ok2)
+				return false
+			}
+			if one.Stats != two.Stats {
+				t.Logf("probe %d: stats diverged\nresident %+v\nprobe+lookup %+v",
+					i, one.Stats, two.Stats)
+				return false
+			}
+			// Interleave a fill on both sides so later probes see evolving
+			// residency, not just the driveOps endstate.
+			if p%5 == 0 {
+				fl := mem.Line(p >> 6)
+				fa := mem.Access{Addr: mem.AddrOf(fl), Kind: mem.Load}
+				one.Fill(fa, now+50, SrcL2)
+				two.Fill(fa, now+50, SrcL2)
+			}
+		}
+
+		var s1, s2 []LineState
+		one.ForEachLineState(func(ls LineState) { s1 = append(s1, ls) })
+		two.ForEachLineState(func(ls LineState) { s2 = append(s2, ls) })
+		if len(s1) != len(s2) {
+			t.Logf("line counts diverged: %d vs %d", len(s1), len(s2))
+			return false
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Logf("line state %d diverged: %+v vs %+v", i, s1[i], s2[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestPropertyReserveFlushesRegion(t *testing.T) {
 	f := func(setSel, waySel uint8, ops []uint16, set uint8, ways uint8) bool {
 		c := New(anyGeometry(setSel, waySel))

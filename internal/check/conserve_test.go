@@ -1,0 +1,155 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"streamline/internal/cache"
+	"streamline/internal/dram"
+	"streamline/internal/sim"
+)
+
+// balancedStats builds a cache.Stats satisfying every law (the fixture the
+// negative tests perturb).
+func balancedStats() cache.Stats {
+	var st cache.Stats
+	st.DemandAccesses = 100
+	st.DemandHits = 70
+	st.DemandMisses = 30
+	st.PrefetchAccesses = 20
+	st.PrefetchHits = 5
+	st.PrefetchFills = 40
+	st.UsefulPrefetches = 25
+	st.LatePrefetches = 10
+	st.UnusedPrefetches = 8
+	st.Evictions = 50
+	st.Writebacks = 12
+	st.Sources[cache.SrcL2] = cache.SourceStats{
+		Fills: 30, UsefulTimely: 10, UsefulLate: 8, EvictedUnused: 6,
+	}
+	st.Sources[cache.SrcTemporal] = cache.SourceStats{
+		Fills: 10, UsefulTimely: 5, UsefulLate: 2, EvictedUnused: 2,
+	}
+	return st
+}
+
+func TestCacheLawsHoldOnBalancedStats(t *testing.T) {
+	if v := CacheWholeRunLaws("t", balancedStats()); len(v) != 0 {
+		t.Fatalf("balanced fixture violates laws: %v", v)
+	}
+}
+
+// TestCacheLawsDetectViolations perturbs the balanced fixture one counter at
+// a time and asserts the matching law fires — every law is reachable.
+func TestCacheLawsDetectViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*cache.Stats)
+		mention string
+	}{
+		{"demand-balance", func(s *cache.Stats) { s.DemandMisses++ }, "demand hits"},
+		{"prefetch-hits", func(s *cache.Stats) { s.PrefetchHits = s.PrefetchAccesses + 1 }, "prefetch hits"},
+		{"useful-bound", func(s *cache.Stats) { s.UsefulPrefetches = s.DemandHits + 1 }, "useful prefetches"},
+		{"late-bound", func(s *cache.Stats) { s.LatePrefetches = s.UsefulPrefetches + 1 }, "late prefetches"},
+		{"writeback-bound", func(s *cache.Stats) { s.Writebacks = s.Evictions + 1 }, "writebacks"},
+		{"source-fills", func(s *cache.Stats) { s.Sources[cache.SrcL2].Fills++ }, "per-source fills"},
+		{"source-useful", func(s *cache.Stats) { s.UsefulPrefetches++ }, "per-source useful"},
+		{"source-late", func(s *cache.Stats) { s.Sources[cache.SrcL2].UsefulLate-- }, "useful-late"},
+		{"source-evicted", func(s *cache.Stats) { s.UnusedPrefetches-- }, "evicted-unused"},
+		{"demand-source", func(s *cache.Stats) { s.Sources[cache.SrcDemand].Fills++ }, "SrcDemand"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := balancedStats()
+			tc.mutate(&st)
+			v := CacheLaws("t", st)
+			if len(v) == 0 {
+				t.Fatalf("perturbation went undetected")
+			}
+			if !strings.Contains(strings.Join(v, "\n"), tc.mention) {
+				t.Fatalf("violations %v do not mention %q", v, tc.mention)
+			}
+		})
+	}
+}
+
+func TestWholeRunLawsDetectLifecycleLeak(t *testing.T) {
+	st := balancedStats()
+	// More outcomes than fills for the temporal source: a line left the
+	// cache twice, or a fill went uncounted.
+	st.Sources[cache.SrcTemporal].EvictedUnused += 5
+	st.UnusedPrefetches += 5
+	if v := CacheWholeRunLaws("t", st); len(v) == 0 {
+		t.Fatal("lifecycle overdraw went undetected")
+	}
+	// The same stats are legal under window semantics (warmup fills can
+	// produce measured-phase outcomes).
+	if v := CacheLaws("t", st); len(v) != 0 {
+		t.Fatalf("window-safe laws should accept warmup overdraw, got %v", v)
+	}
+}
+
+func TestDRAMLawsDetectUnclassifiedRead(t *testing.T) {
+	d := dram.Stats{Reads: 10, RowHits: 4, RowMisses: 3, RowConflicts: 3}
+	if v := DRAMLaws("d", d); len(v) != 0 {
+		t.Fatalf("balanced DRAM stats rejected: %v", v)
+	}
+	d.Reads++
+	if v := DRAMLaws("d", d); len(v) == 0 {
+		t.Fatal("unclassified DRAM read went undetected")
+	}
+}
+
+func TestCoreLawsDetectAttributionDrift(t *testing.T) {
+	cr := sim.CoreResult{
+		L1D:              balancedStats(),
+		L2:               balancedStats(),
+		PrefetchesIssued: 9,
+		Prefetchers: []sim.PrefetcherResult{
+			{Source: "l1", Issued: 3, Fills: 3, UsefulTimely: 1},
+			{Source: "l2", Issued: 4, Fills: 4},
+			{Source: "temporal", Issued: 2, Fills: 2, UsefulLate: 1},
+		},
+	}
+	if v := CoreLaws("core0", cr, false); len(v) != 0 {
+		t.Fatalf("balanced core result rejected: %v", v)
+	}
+	bad := cr
+	bad.PrefetchesIssued++
+	if v := CoreLaws("core0", bad, false); len(v) == 0 {
+		t.Fatal("issue-sum drift went undetected")
+	}
+	bad2 := cr
+	bad2.Prefetchers = append([]sim.PrefetcherResult(nil), cr.Prefetchers...)
+	bad2.Prefetchers[1].Fills++
+	if v := CoreLaws("core0", bad2, false); len(v) == 0 {
+		t.Fatal("fills!=issued drift went undetected")
+	}
+}
+
+func TestSimLawsDetectDRAMLedgerDrift(t *testing.T) {
+	r := sim.Result{
+		Cores: []sim.CoreResult{{L1D: balancedStats(), L2: balancedStats()}},
+		LLC:   balancedStats(),
+	}
+	llcMisses := r.LLC.DemandMisses + r.LLC.PrefetchAccesses - r.LLC.PrefetchHits
+	r.DRAM = dram.Stats{Reads: llcMisses, RowMisses: llcMisses, Writes: r.LLC.Writebacks}
+	if v := SimLaws(r, MetaDRAMTraffic{}, false); len(v) != 0 {
+		t.Fatalf("balanced result rejected: %v", v)
+	}
+	// A phantom DRAM read (or a dropped LLC miss) breaks the ledger.
+	r.DRAM.Reads++
+	r.DRAM.RowMisses++
+	if v := SimLaws(r, MetaDRAMTraffic{}, false); len(v) == 0 {
+		t.Fatal("DRAM read ledger drift went undetected")
+	}
+	// Metadata traffic balances it again.
+	if v := SimLaws(r, MetaDRAMTraffic{Reads: 1}, false); len(v) != 0 {
+		t.Fatalf("metadata-balanced ledger rejected: %v", v)
+	}
+	// Missing writeback traffic.
+	r.DRAM.Writes = r.LLC.Writebacks - 1
+	if v := SimLaws(r, MetaDRAMTraffic{Reads: 1}, false); len(v) == 0 {
+		t.Fatal("missing writeback traffic went undetected")
+	}
+}

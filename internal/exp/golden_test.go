@@ -3,6 +3,8 @@ package exp
 import (
 	"sync"
 	"testing"
+
+	"streamline/internal/check"
 )
 
 // Golden-stats regression net for the parallel harness: two Small-scale
@@ -74,6 +76,12 @@ func checkGolden(t *testing.T, r *Runner) {
 			if f.got != f.want {
 				t.Errorf("%s/%s: %s = %d, want %d", g.arm, g.workload, f.name, f.got, f.want)
 			}
+		}
+		// Conservation laws on top of the pinned values. Golden runs have a
+		// warmup, so per-core stats are a measured window: window-safe laws
+		// only (wholeRun=false). No golden arm uses DRAM-resident metadata.
+		for _, viol := range check.SimLaws(res, check.MetaDRAMTraffic{}, false) {
+			t.Errorf("%s/%s: conservation law violated: %s", g.arm, g.workload, viol)
 		}
 	}
 }

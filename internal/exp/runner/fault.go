@@ -37,13 +37,30 @@ type FaultPolicy struct {
 // Options uses the real clock.
 type Clock interface {
 	After(d time.Duration) <-chan time.Time
-	Sleep(d time.Duration)
+	// SleepCtx pauses for d or until ctx is done, returning ctx.Err() when
+	// the wait was cut short. Backoff pauses go through this so a cancelled
+	// run stops immediately instead of finishing a (possibly minutes-long)
+	// sleep first.
+	SleepCtx(ctx context.Context, d time.Duration) error
 }
 
 type realClock struct{}
 
 func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
-func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+
+func (realClock) SleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // TimeoutError reports an attempt exceeding FaultPolicy.Timeout.
 type TimeoutError struct {
@@ -100,7 +117,10 @@ func Execute[T any](ctx context.Context, pol FaultPolicy, clock Clock, key strin
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			pol.Metrics.retried()
-			clock.Sleep(pol.Backoff << (attempt - 1))
+			if serr := clock.SleepCtx(ctx, backoffFor(pol.Backoff, attempt)); serr != nil {
+				pol.Metrics.failed()
+				return zero, serr
+			}
 		}
 		start := time.Now()
 		var res T
@@ -115,6 +135,29 @@ func Execute[T any](ctx context.Context, pol FaultPolicy, clock Clock, key strin
 			return zero, err
 		}
 	}
+}
+
+// maxBackoff caps one retry pause. Doubling per retry must saturate here:
+// a naive Backoff << (attempt-1) wraps time.Duration after ~60 doublings,
+// and a negative duration sleeps zero — turning the backoff into a hot
+// retry loop exactly when the policy asked for its longest pauses.
+const maxBackoff = time.Minute
+
+// backoffFor returns the pause before retry `attempt` (1-based): base
+// doubling per retry, saturating at maxBackoff instead of overflowing.
+func backoffFor(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if base >= maxBackoff {
+		return maxBackoff
+	}
+	shift := uint(attempt - 1)
+	// base << shift would exceed (or overflow past) the cap.
+	if shift > 62 || base > maxBackoff>>shift {
+		return maxBackoff
+	}
+	return base << shift
 }
 
 // attemptOnce runs one panic-isolated attempt, bounded by pol.Timeout.

@@ -10,19 +10,21 @@ import (
 	"time"
 )
 
-// fakeClock scripts time for the fault machinery: Sleep records the
-// requested backoff durations, and After returns a channel the test fires on
-// demand — so timeout behavior is exercised without real waiting.
+// fakeClock scripts time for the fault machinery: SleepCtx records the
+// requested backoff durations (returning immediately, or ctx.Err() when the
+// context is already cancelled), and After returns a channel the test fires
+// on demand — so timeout behavior is exercised without real waiting.
 type fakeClock struct {
 	mu     sync.Mutex
 	sleeps []time.Duration
 	afters []chan time.Time
 }
 
-func (c *fakeClock) Sleep(d time.Duration) {
+func (c *fakeClock) SleepCtx(ctx context.Context, d time.Duration) error {
 	c.mu.Lock()
 	c.sleeps = append(c.sleeps, d)
 	c.mu.Unlock()
+	return ctx.Err()
 }
 
 func (c *fakeClock) After(d time.Duration) <-chan time.Time {
@@ -74,6 +76,92 @@ func TestRetryFailNTimesThenSucceed(t *testing.T) {
 	for i := range want {
 		if sleeps[i] != want[i] {
 			t.Errorf("backoff[%d] = %v, want %v (doubling)", i, sleeps[i], want[i])
+		}
+	}
+}
+
+// TestBackoffSleepRespectsCancellation: cancelling the context while a
+// retry backoff is in progress aborts the sleep immediately. Regression:
+// the sleep used to be unconditional, so a cancelled sweep still sat out
+// the full (exponentially growing) pause before noticing.
+func TestBackoffSleepRespectsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	failed := make(chan struct{}, 4)
+	done := make(chan error, 1)
+	go func() {
+		// Real clock on purpose: the hour-long backoff is the trap. The
+		// fix returns as soon as cancel fires; the old code sleeps it out.
+		_, err := Execute(ctx,
+			FaultPolicy{Retries: 2, Backoff: time.Hour}, nil, "slow-retry",
+			func(context.Context) (int, error) {
+				failed <- struct{}{}
+				return 0, errors.New("transient")
+			})
+		done <- err
+	}()
+	<-failed // first attempt has failed; Execute is entering the backoff
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Execute still sleeping 5s after cancellation")
+	}
+	if len(failed) != 0 {
+		t.Errorf("job was retried %d time(s) after cancellation", len(failed))
+	}
+}
+
+// TestBackoffCapsDoubling: the doubling backoff saturates at maxBackoff
+// instead of overflowing time.Duration. Regression: backoff << (attempt-1)
+// wraps negative after ~60 doublings, and a negative sleep returns
+// immediately — a hot retry loop precisely when the longest pauses were
+// requested.
+func TestBackoffCapsDoubling(t *testing.T) {
+	cases := []struct {
+		base    time.Duration
+		attempt int
+		want    time.Duration
+	}{
+		{10 * time.Millisecond, 1, 10 * time.Millisecond},
+		{10 * time.Millisecond, 2, 20 * time.Millisecond},
+		{30 * time.Second, 2, time.Minute},  // doubles exactly to the cap
+		{30 * time.Second, 3, time.Minute},  // saturates
+		{time.Second, 40, time.Minute},      // would be ~35k years unchecked
+		{time.Second, 64, time.Minute},      // shift >= word width
+		{time.Nanosecond, 100, time.Minute}, // extreme shift, still saturates
+		{5 * time.Minute, 1, time.Minute},   // base alone above the cap
+		{0, 3, 0},
+	}
+	for _, c := range cases {
+		got := backoffFor(c.base, c.attempt)
+		if got != c.want {
+			t.Errorf("backoffFor(%v, %d) = %v, want %v", c.base, c.attempt, got, c.want)
+		}
+		if got < 0 {
+			t.Errorf("backoffFor(%v, %d) went negative: %v", c.base, c.attempt, got)
+		}
+	}
+
+	// End to end: the recorded pauses saturate rather than overflow.
+	clock := &fakeClock{}
+	_, err := Execute(context.Background(),
+		FaultPolicy{Retries: 3, Backoff: 30 * time.Second}, clock, "capped",
+		func(context.Context) (int, error) { return 0, errors.New("transient") })
+	if err == nil {
+		t.Fatal("want final transient error")
+	}
+	want := []time.Duration{30 * time.Second, time.Minute, time.Minute}
+	sleeps := clock.sleepLog()
+	if len(sleeps) != len(want) {
+		t.Fatalf("backoffs = %v, want %v", sleeps, want)
+	}
+	for i := range want {
+		if sleeps[i] != want[i] {
+			t.Errorf("backoff[%d] = %v, want %v (saturating)", i, sleeps[i], want[i])
 		}
 	}
 }

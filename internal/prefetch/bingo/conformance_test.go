@@ -19,3 +19,9 @@ func TestConformance(t *testing.T) {
 		})
 	}
 }
+
+// TestOracle runs this engine's request stream against the differential
+// cache oracle (see ptest.Oracle).
+func TestOracle(t *testing.T) {
+	ptest.Oracle(t, func() prefetch.Prefetcher { return bingo.New(bingo.DefaultConfig) })
+}

@@ -12,6 +12,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"streamline/internal/cache"
+	"streamline/internal/check"
 	"streamline/internal/mem"
 	"streamline/internal/meta"
 	"streamline/internal/prefetch"
@@ -133,5 +135,46 @@ func Exercise(t *testing.T, mk func() prefetch.Prefetcher) {
 	}
 	if p1.Name() == "" {
 		t.Fatal("prefetcher reports an empty name")
+	}
+}
+
+// Oracle replays the conformance stream through a differentially-shadowed
+// cache: demand events perform lookups and fills, and the prefetcher's
+// emitted requests are resolved the way the simulator's issue path would —
+// duplicate-probe first, then a prefetch fill attributed to the engine.
+// Every hit/miss/victim decision is verified in lockstep against the
+// reference LRU model (internal/check), and the complete cache state is
+// compared periodically. The point of running this per prefetcher is
+// traffic shape: each engine exercises the cache with its own burst degree,
+// address spread, and re-reference mix, reaching interleavings a uniform
+// random stream does not.
+func Oracle(t *testing.T, mk func() prefetch.Prefetcher) {
+	t.Helper()
+	sh := check.NewShadow(cache.Config{Name: "oracle", Sets: 64, Ways: 8, Latency: 12})
+	p := mk()
+	var buf []prefetch.Request
+	for i, ev := range Stream() {
+		a := mem.Access{PC: ev.PC, Addr: ev.Addr, Kind: mem.Load, Core: 0}
+		if ev.IsStore {
+			a.Kind = mem.Store
+		}
+		if !sh.Lookup(ev.Now, a).Hit {
+			sh.Fill(a, ev.Now+40, cache.SrcDemand)
+		}
+		buf = p.Train(ev, buf[:0])
+		for _, r := range buf {
+			pa := mem.Access{Addr: r.Addr, Kind: mem.Prefetch, Core: 0}
+			if sh.Probe(pa.Line()) {
+				continue // duplicate: the simulator drops it untouched
+			}
+			sh.Fill(pa, ev.Now+r.Delay+100, cache.SrcL2)
+		}
+		if i%128 == 127 {
+			sh.CheckState()
+		}
+	}
+	sh.CheckState()
+	for _, m := range sh.Mismatches() {
+		t.Errorf("differential divergence after %d ops: %s", sh.Ops(), m)
 	}
 }

@@ -49,3 +49,11 @@ func TestStatsMonotonicConsistent(t *testing.T) {
 		t.Fatal("stream never wrote the GHB; the harness stream is not training the prefetcher")
 	}
 }
+
+// TestOracle runs this engine's request stream against the differential
+// cache oracle (see ptest.Oracle).
+func TestOracle(t *testing.T) {
+	ptest.Oracle(t, func() prefetch.Prefetcher {
+		return stms.New(stms.DefaultConfig(), dram.New(dram.ConfigFor(1)))
+	})
+}

@@ -27,3 +27,11 @@ func TestConformance(t *testing.T) {
 		})
 	}
 }
+
+// TestOracle runs this engine's request stream against the differential
+// cache oracle (see ptest.Oracle).
+func TestOracle(t *testing.T) {
+	ptest.Oracle(t, func() prefetch.Prefetcher {
+		return triangel.New(triangel.DefaultConfig(), &meta.NullBridge{Sets: 256, Ways: 16, Latency: 20})
+	})
+}

@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -386,19 +388,21 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.draining {
+		queued := s.queued
 		s.mu.Unlock()
 		s.drainRefused.Add(1)
 		s.event(seq, "drain-refused", sp.ID())
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter(queued))
 		n := writeError(w, http.StatusServiceUnavailable, "draining")
 		s.finish(span, http.StatusServiceUnavailable, "drain-refused", "", n)
 		return
 	}
 	if s.queued >= s.cfg.QueueDepth {
+		queued := s.queued
 		s.mu.Unlock()
 		s.rejected.Add(1)
 		s.event(seq, "rejected", sp.ID())
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter(queued))
 		n := writeError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("queue full (%d computations admitted)", s.cfg.QueueDepth))
 		s.finish(span, http.StatusTooManyRequests, "rejected", "", n)
@@ -412,6 +416,24 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 	go s.compute(seq, key, sp, f, time.Now())
 	s.settle(w, r, span, f, "none", "computed")
+}
+
+// retryAfter derives the Retry-After value for a backpressure response
+// (429/503) from live load instead of a hardcoded constant: the time to
+// drain the current queue through the worker pool at the observed mean
+// simulate latency, rounded up to whole seconds and clamped to [1,30].
+// The clamp guarantees a positive integer before any latency has been
+// observed (mean 0) and keeps the hint bounded when the queue backs up
+// behind pathologically slow jobs.
+func (s *Server) retryAfter(queued int) string {
+	mean := s.metrics.stage[stageSimulate].Mean() // seconds; 0 with no observations
+	secs := math.Ceil(float64(queued) * mean / float64(s.cfg.Workers))
+	if secs < 1 || math.IsNaN(secs) {
+		secs = 1
+	} else if secs > 30 {
+		secs = 30
+	}
+	return strconv.Itoa(int(secs))
 }
 
 // settle awaits the flight, serves its response, and closes the request's

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -204,8 +205,10 @@ func TestQueueFullBackpressure(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("saturated: status %d, want 429\n%s", resp.StatusCode, body)
 	}
-	if resp.Header.Get("Retry-After") == "" {
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
 		t.Error("429 carries no Retry-After")
+	} else if n, err := strconv.Atoi(ra); err != nil || n < 1 || n > 30 {
+		t.Errorf("Retry-After %q is not an integer in [1,30]", ra)
 	}
 
 	// An identical request C consumes no slot: it collapses, not rejects.
@@ -397,4 +400,49 @@ func TestInvalidRequests(t *testing.T) {
 			t.Errorf("Allow = %q, want POST", resp.Header.Get("Allow"))
 		}
 	})
+}
+
+// TestRetryAfterDerivation: the backpressure Retry-After hint is the time to
+// drain the current queue through the worker pool at the observed mean
+// simulate latency — ceil(queued*mean/workers) — clamped to [1,30], and is a
+// positive integer for every load state (including before any observation,
+// when the mean is zero).
+func TestRetryAfterDerivation(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8})
+
+	// No simulate latency observed yet: the floor, never zero or empty.
+	if got := s.retryAfter(0); got != "1" {
+		t.Errorf("retryAfter(0) with no observations = %q, want \"1\"", got)
+	}
+	if got := s.retryAfter(8); got != "1" {
+		t.Errorf("retryAfter(8) with no observations = %q, want \"1\"", got)
+	}
+
+	// Mean simulate latency 3s: 8 queued / 2 workers -> 12s to drain.
+	s.metrics.observeStage(stageSimulate, 3*time.Second)
+	if got := s.retryAfter(8); got != "12" {
+		t.Errorf("retryAfter(8) at 3s mean over 2 workers = %q, want \"12\"", got)
+	}
+	// A deep queue clamps at 30 rather than quoting minutes.
+	if got := s.retryAfter(1000); got != "30" {
+		t.Errorf("retryAfter(1000) = %q, want the 30s clamp", got)
+	}
+	// Sub-second drain estimates round up to the 1s floor.
+	if got := s.retryAfter(1); got != "2" { // ceil(1*3/2)
+		t.Errorf("retryAfter(1) = %q, want \"2\"", got)
+	}
+	fast := New(Config{Workers: 4, QueueDepth: 8})
+	fast.metrics.observeStage(stageSimulate, 10*time.Millisecond)
+	if got := fast.retryAfter(3); got != "1" {
+		t.Errorf("fast retryAfter(3) = %q, want the 1s floor", got)
+	}
+
+	// Exhaustive: every queue depth yields an integer in [1,30].
+	for q := 0; q <= 256; q++ {
+		n, err := strconv.Atoi(s.retryAfter(q))
+		if err != nil || n < 1 || n > 30 {
+			t.Fatalf("retryAfter(%d) = %q; want an integer in [1,30] (err %v)",
+				q, s.retryAfter(q), err)
+		}
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"streamline/internal/audit"
+	"streamline/internal/check"
 	"streamline/internal/core"
 	"streamline/internal/dram"
 	"streamline/internal/meta"
@@ -102,6 +103,11 @@ const conformanceSeed = 1
 // holds for whole-run statistics (a warmup-installed prefetch used in the
 // measured phase would otherwise count as useful without a counted fill).
 func runConformance(t *testing.T, arm conformanceArm, workload string) (sim.Result, *audit.Auditor) {
+	res, aud, _ := runConformanceSys(t, arm, workload)
+	return res, aud
+}
+
+func runConformanceSys(t *testing.T, arm conformanceArm, workload string) (sim.Result, *audit.Auditor, *sim.System) {
 	t.Helper()
 	cfg := sim.DefaultConfig(1)
 	cfg.LLC.Sets = 128
@@ -121,17 +127,35 @@ func runConformance(t *testing.T, arm conformanceArm, workload string) (sim.Resu
 	}
 	sys := sim.New(cfg)
 	sys.SetTrace(0, w.NewTrace(workloads.Scale{Footprint: 0.05}, conformanceSeed))
-	return sys.Run(), aud
+	return sys.Run(), aud, sys
+}
+
+// metaDRAMTraffic reports DRAM traffic a temporal prefetcher's metadata
+// machinery issued directly against the system DRAM. Only the STMS arm has
+// any (its index and GHB live off-chip); LLC-partition metadata goes
+// through the LLC bridge and never reaches DRAM.
+func metaDRAMTraffic(sys *sim.System) check.MetaDRAMTraffic {
+	p, ok := sys.TemporalOf(0).(*stms.Prefetcher)
+	if !ok {
+		return check.MetaDRAMTraffic{}
+	}
+	return check.MetaDRAMTraffic{
+		Reads:  p.Stats.IndexReads + p.Stats.GHBReads,
+		Writes: p.Stats.IndexWrites + p.Stats.GHBWrites,
+	}
 }
 
 func TestConformance(t *testing.T) {
 	base := map[string]uint64{}
 	for _, w := range conformanceFamilies {
-		res, aud := runConformance(t, conformanceArm{name: "none", apply: func(cfg *sim.Config) {}}, w)
+		res, aud, sys := runConformanceSys(t, conformanceArm{name: "none", apply: func(cfg *sim.Config) {}}, w)
 		if n := aud.Total(); n != 0 {
 			var sb strings.Builder
 			aud.WriteReport(&sb)
 			t.Fatalf("baseline %s: %d audit violations:\n%s", w, n, sb.String())
+		}
+		for _, v := range check.SimLaws(res, metaDRAMTraffic(sys), true) {
+			t.Errorf("baseline %s: conservation law violated: %s", w, v)
 		}
 		if got := res.Cores[0].PrefetchesIssued; got != 0 {
 			t.Fatalf("baseline %s issued %d prefetches, want 0", w, got)
@@ -145,7 +169,7 @@ func TestConformance(t *testing.T) {
 			for _, w := range conformanceFamilies {
 				w := w
 				t.Run(w, func(t *testing.T) {
-					res, aud := runConformance(t, arm, w)
+					res, aud, sys := runConformanceSys(t, arm, w)
 
 					// Contract: zero invariant violations under audit.
 					if n := aud.Total(); n != 0 {
@@ -155,6 +179,13 @@ func TestConformance(t *testing.T) {
 					}
 					if aud.Scans() == 0 {
 						t.Error("audit performed zero scans; cadence is broken")
+					}
+
+					// Contract: conservation laws. Warmup is zero, so the
+					// whole-run laws (prefetch lifecycle partition, exact
+					// DRAM read ledger) apply on top of the window-safe ones.
+					for _, v := range check.SimLaws(res, metaDRAMTraffic(sys), true) {
+						t.Errorf("conservation law violated: %s", v)
 					}
 
 					// Contract: determinism — an identical second run must

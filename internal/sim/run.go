@@ -203,11 +203,15 @@ func (s *System) issuePrefetch(cs *coreState, now uint64, req prefetch.Request, 
 			cs.droppedBy[src]++
 			return
 		}
-		if _, ok := cs.l2.LookupResident(now, acc); ok {
+		if r, ok := cs.l2.LookupResident(now, acc); ok {
 			// Promote from L2 to L1 in the same tag walk that confirmed
 			// residency (the lookup updates the L2's replacement and
-			// prefetch-hit state).
-			done := now + s.cfg.L2.Latency
+			// prefetch-hit state). If the L2 copy is itself still in
+			// flight, the promoted L1 copy cannot be ready before it —
+			// carry the ExtraWait forward like the demand L2-hit path
+			// does, or the L1 line's readyAt is backdated and the wait a
+			// demand hit would observe there is silently dropped.
+			done := now + s.cfg.L2.Latency + r.ExtraWait
 			v := cs.l1d.Fill(acc, done, src)
 			if v.Valid && v.Dirty {
 				s.writeback(cs, now, v.Line, 2)
