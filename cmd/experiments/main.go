@@ -24,12 +24,14 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
@@ -132,7 +134,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	// SIGINT cancels the sweep cooperatively: in-flight simulations stop at
+	// their next engine epoch boundary, pending jobs fail fast, and results
+	// already checkpointed stay durable for a later -resume.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
 	r := exp.NewRunner(sc)
+	r.Ctx = ctx
 	r.Jobs = *jobs
 	r.Check = *check
 	r.Store = st
@@ -182,9 +189,17 @@ func main() {
 	report := jsonReport{Scale: sc.Name, Jobs: r.Jobs}
 	failedJobs := 0
 	for _, e := range selected {
+		if ctx.Err() != nil {
+			break
+		}
 		start := time.Now()
 		fmt.Printf("# %s — %s (%s scale)\n", e.ID, e.Title, sc.Name)
 		tables := e.Run(r)
+		if ctx.Err() != nil {
+			// Interrupted mid-experiment: the aborted jobs' tables are
+			// gap-ridden and misleading — discard them and exit below.
+			break
+		}
 		// Mark this experiment's gaps in its own output, deterministically
 		// (failures are as reproducible as the simulations themselves).
 		fails := r.DrainFailures()
@@ -206,6 +221,17 @@ func main() {
 		report.Experiments = append(report.Experiments, jsonExperiment{
 			ID: e.ID, Title: e.Title, Tables: tables,
 		})
+	}
+	if ctx.Err() != nil {
+		stopSignals() // a second ^C now kills the process the default way
+		if st != nil {
+			fmt.Fprintf(os.Stderr, "sweep: interrupted; %d completed result(s) remain durable in %s\n",
+				st.Len(), st.Dir())
+			st.Close()
+		} else {
+			fmt.Fprintln(os.Stderr, "interrupted")
+		}
+		exit(130)
 	}
 	if *jsonDest != "" {
 		if err := writeJSON(*jsonDest, report); err != nil {

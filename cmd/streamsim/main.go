@@ -16,16 +16,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 
 	"streamline/internal/audit"
 	"streamline/internal/serve"
+	"streamline/internal/sim"
 	"streamline/internal/telemetry"
 	"streamline/internal/workloads"
 )
@@ -146,7 +149,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		exit(2)
 	}
-	res := sys.Run()
+
+	// Drive the engine in epochs so SIGINT stops the run at the next epoch
+	// boundary instead of being ignored for the rest of a long simulation.
+	// Stepping does not perturb the statistics: a completed run is
+	// bit-identical to one-shot sys.Run().
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	eng := sys.Engine()
+	for !eng.Done() {
+		if ctx.Err() != nil {
+			p := eng.Progress()
+			fmt.Fprintf(os.Stderr, "canceled after %d records (%.1f%% of measure)\n",
+				p.Records, 100*p.MeasuredFraction())
+			exit(130)
+		}
+		eng.Step(sim.DefaultEpoch)
+	}
+	stopSignals()
+	res := eng.Finish()
 
 	fmt.Printf("workload=%s cores=%d l1=%s l2=%s temporal=%s\n",
 		sp.Workload, sp.Cores, sp.L1, sp.L2, sp.Temporal)

@@ -6,6 +6,7 @@ import (
 	"os/exec"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestMain re-execs the test binary as the streamsim command when
@@ -104,5 +105,48 @@ func TestListStillWorks(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "workloads:") || !strings.Contains(stdout, "sphinx06") {
 		t.Errorf("-list output:\n%s", stdout)
+	}
+}
+
+// TestInterruptCancelsRun: SIGINT mid-simulation stops the engine at the next
+// epoch boundary, prints a cancellation summary to stderr, and exits 130 —
+// instead of ignoring the signal for the rest of a long run. The measure
+// budget is the spec ceiling (~10s of simulation at the observed rate, an
+// order of magnitude past the signal point), so a 0 exit would mean the run
+// ignored the interrupt and simulated to completion.
+func TestInterruptCancelsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs and signals a simulation in a child process")
+	}
+	cmd := exec.Command(os.Args[0],
+		"-warmup", "1000", "-measure", "99000000", "-footprint", "0.05",
+		"-llc-sets", "16", "-meta-kb", "8")
+	cmd.Env = append(os.Environ(), "STREAMSIM_BE_MAIN=1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Give the child time to parse flags, build the system, and install the
+	// signal handler; the engine then runs for minutes unless interrupted.
+	time.Sleep(1 * time.Second)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("interrupted run: err=%v stdout=%q stderr=%q", err, stdout.String(), stderr.String())
+	}
+	if code := ee.ExitCode(); code != 130 {
+		t.Fatalf("exit %d, want 130\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "canceled after") ||
+		!strings.Contains(stderr.String(), "% of measure") {
+		t.Errorf("stderr lacks the cancellation summary:\n%s", stderr.String())
+	}
+	if strings.Contains(stdout.String(), "core 0: IPC") {
+		t.Errorf("interrupted run still printed statistics:\n%s", stdout.String())
 	}
 }

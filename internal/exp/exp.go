@@ -262,6 +262,13 @@ func streamlineArm(name, l1, l2 string, mod func(*core.Options)) Arm {
 type Runner struct {
 	Scale    Scale
 	Progress io.Writer
+	// Ctx, when non-nil, cancels the sweep cooperatively: in-flight
+	// simulations stop at their next engine epoch boundary (a few thousand
+	// trace records), pending pool jobs fail fast with ctx.Err(), and
+	// every aborted job is recorded as a failure. Results already
+	// checkpointed to Store stay durable. Nil means background (never
+	// canceled).
+	Ctx context.Context
 	// Jobs bounds the worker pool used by Precompute and ParallelMap.
 	// Zero or negative means GOMAXPROCS; 1 reproduces the serial harness.
 	Jobs int
@@ -352,6 +359,7 @@ func NewRunner(sc Scale) *Runner {
 func (r *Runner) Derived(sc Scale) *Runner {
 	nr := NewRunner(sc)
 	nr.Progress = r.Progress
+	nr.Ctx = r.Ctx
 	nr.Jobs = r.Jobs
 	nr.JobProgress = r.JobProgress
 	nr.Store = r.Store
@@ -564,10 +572,10 @@ func (r *Runner) computeOrReplay(key string, arm Arm, mix []string, cores int, b
 			// recompute rather than replay anything questionable.
 		}
 	}
-	res, err := runner.Execute(context.Background(), r.Fault, nil, key,
-		func(context.Context) (sim.Result, error) {
+	res, err := runner.Execute(r.ctx(), r.Fault, nil, key,
+		func(ctx context.Context) (sim.Result, error) {
 			r.maybeInjectFailure(key)
-			return r.computeMix(arm, mix, cores, bwFactor), nil
+			return r.computeMix(ctx, arm, mix, cores, bwFactor)
 		})
 	if err != nil {
 		return sim.Result{}, err
@@ -595,11 +603,13 @@ func (r *Runner) maybeInjectFailure(key string) {
 	}
 }
 
-// computeMix builds a fresh system and runs the simulation. Everything it
-// touches is job-private: the config is a value copy of the scale, the
-// system and its traces are constructed here, and the workload registry is
-// only read — which is what makes concurrent RunMix calls race-free.
-func (r *Runner) computeMix(arm Arm, mix []string, cores int, bwFactor float64) sim.Result {
+// computeMix builds a fresh system and runs the simulation, observing ctx
+// between engine epochs so a canceled sweep releases its workers promptly.
+// Everything it touches is job-private: the config is a value copy of the
+// scale, the system and its traces are constructed here, and the workload
+// registry is only read — which is what makes concurrent RunMix calls
+// race-free.
+func (r *Runner) computeMix(ctx context.Context, arm Arm, mix []string, cores int, bwFactor float64) (sim.Result, error) {
 	cfg := r.Scale.baseConfig(cores)
 	if bwFactor > 0 {
 		cfg.DRAM = cfg.DRAM.ScaleBandwidth(bwFactor)
@@ -617,9 +627,17 @@ func (r *Runner) computeMix(arm Arm, mix []string, cores int, bwFactor float64) 
 			r.Scale.Seed+int64(c)))
 	}
 	r.logf("  [%s] %s x%d\n", arm.Name, strings.Join(mix, ","), cores)
-	res := sys.Run()
+	res, err := sys.RunCtx(ctx, 0, nil)
 	finish()
-	return res
+	return res, err
+}
+
+// ctx returns the runner's cancellation context, defaulting to background.
+func (r *Runner) ctx() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
 }
 
 // attachAudit arms cfg with a fresh auditor when Check is set, labeling it
@@ -724,7 +742,7 @@ func (r *Runner) AuditSummary(w io.Writer) int {
 // cannot be serialized — but they are deterministic, so recomputing them on
 // resume still yields byte-identical output. They do run under the fault
 // policy: on permanent failure the system is nil and callers must degrade.
-func (r *Runner) runSystem(key string, compute func() (sim.Result, *sim.System)) (sim.Result, *sim.System) {
+func (r *Runner) runSystem(key string, compute func(ctx context.Context) (sim.Result, *sim.System, error)) (sim.Result, *sim.System) {
 	r.mu.Lock()
 	e, ok := r.sysMemo[key]
 	if !ok {
@@ -737,11 +755,11 @@ func (r *Runner) runSystem(key string, compute func() (sim.Result, *sim.System))
 			res sim.Result
 			sys *sim.System
 		}
-		o, err := runner.Execute(context.Background(), r.Fault, nil, key,
-			func(context.Context) (out, error) {
+		o, err := runner.Execute(r.ctx(), r.Fault, nil, key,
+			func(ctx context.Context) (out, error) {
 				r.maybeInjectFailure(key)
-				res, sys := compute()
-				return out{res, sys}, nil
+				res, sys, err := compute(ctx)
+				return out{res, sys}, err
 			})
 		if err != nil {
 			e.err = err
@@ -874,7 +892,7 @@ func (r *Runner) runJobs(jobs []runner.Job[struct{}]) {
 		return
 	}
 	opts := runner.Options{Workers: r.Jobs, Progress: r.JobProgress}
-	_, errs := runner.RunAll(context.Background(), opts, jobs)
+	_, errs := runner.RunAll(r.ctx(), opts, jobs)
 	for i, err := range errs {
 		if err != nil {
 			r.fails.add(jobs[i].Key, err)
@@ -901,7 +919,7 @@ func ParallelMap[T, R any](r *Runner, items []T, key func(T) string, fn func(T) 
 		}
 	}
 	opts := runner.Options{Workers: r.Jobs, Progress: r.JobProgress}
-	res, errs := runner.RunAll(context.Background(), opts, jobs)
+	res, errs := runner.RunAll(r.ctx(), opts, jobs)
 	for i, err := range errs {
 		if err != nil {
 			r.fails.add(jobs[i].Key, err)

@@ -306,7 +306,7 @@ func init() {
 // runWithSystemOffchip runs the STMS arm, memoized like runWithSystem, and
 // exposes the system for its off-chip statistics.
 func (r *Runner) runWithSystemOffchip(workload string) (sim.Result, *sim.System) {
-	return r.runSystem("stms|"+workload, func() (sim.Result, *sim.System) {
+	return r.runSystem("stms|"+workload, func(ctx context.Context) (sim.Result, *sim.System, error) {
 		cfg := r.Scale.baseConfig(1)
 		cfg.L1DPrefetcher = l1Factory("stride")
 		cfg.TemporalDRAM = func(d *dram.DRAM) prefetch.Prefetcher {
@@ -321,9 +321,12 @@ func (r *Runner) runWithSystemOffchip(workload string) (sim.Result, *sim.System)
 		}
 		sys.SetTrace(0, w.NewTrace(workloads.Scale{Footprint: r.Scale.Footprint}, r.Scale.Seed))
 		r.logf("  [stms] %s\n", workload)
-		res := sys.Run()
+		res, err := sys.RunCtx(ctx, 0, nil)
 		finish()
-		return res, sys
+		if err != nil {
+			return sim.Result{}, nil, err
+		}
+		return res, sys, nil
 	})
 }
 

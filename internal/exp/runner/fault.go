@@ -16,10 +16,21 @@ import (
 // FaultPolicy bounds how a single job may fail.
 type FaultPolicy struct {
 	// Timeout bounds one attempt's wall clock; zero means unbounded. A
-	// timed-out attempt is abandoned (its goroutine is orphaned — jobs
-	// need not observe ctx) and reported as a permanent *TimeoutError:
-	// a job that hung once is assumed to hang again, so it is not retried.
+	// timed-out attempt is reported as a permanent *TimeoutError: a job
+	// that hung once is assumed to hang again, so it is not retried. By
+	// default the timed-out attempt is abandoned (its goroutine is orphaned
+	// — jobs need not observe ctx); set Cooperative for jobs that do.
 	Timeout time.Duration
+	// Cooperative declares that fn observes its context: on timeout (or
+	// caller cancellation) Execute cancels the attempt's context and then
+	// WAITS for fn to unwind before returning, so no goroutine is ever
+	// abandoned and the worker slot it held is genuinely free. The error
+	// semantics are unchanged — a timeout still yields a permanent
+	// *TimeoutError even though fn returned ctx.Err(). A cooperative fn
+	// must return promptly after cancellation (the simulation engine stops
+	// at its next epoch boundary); a fn that ignores its context turns the
+	// timeout into a wait for natural completion.
+	Cooperative bool
 	// Retries is how many additional attempts a transiently failing job
 	// gets after its first. Permanent failures (panics, timeouts,
 	// Permanent-wrapped errors) are never retried.
@@ -165,6 +176,9 @@ func attemptOnce[T any](ctx context.Context, pol FaultPolicy, clock Clock, key s
 	if pol.Timeout <= 0 {
 		return protect(ctx, key, fn)
 	}
+	if pol.Cooperative {
+		return attemptCooperative(ctx, pol, clock, key, fn)
+	}
 	type outcome struct {
 		res T
 		err error
@@ -181,6 +195,38 @@ func attemptOnce[T any](ctx context.Context, pol FaultPolicy, clock Clock, key s
 	case <-clock.After(pol.Timeout):
 		return zero, Permanent(&TimeoutError{Key: key, After: pol.Timeout})
 	case <-ctx.Done():
+		return zero, ctx.Err()
+	}
+}
+
+// attemptCooperative runs one attempt of a context-observing job. Unlike the
+// abandoning path above, the deadline/cancellation branches cancel the
+// attempt's context and then drain `done` — the goroutine always unwinds
+// (the engine stops at its next epoch boundary) before control returns to
+// the caller, so the worker slot is free when Execute reports the failure.
+func attemptCooperative[T any](ctx context.Context, pol FaultPolicy, clock Clock, key string, fn func(context.Context) (T, error)) (T, error) {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		res T
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := protect(actx, key, fn)
+		done <- outcome{res, err}
+	}()
+	var zero T
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-clock.After(pol.Timeout):
+		cancel()
+		<-done
+		return zero, Permanent(&TimeoutError{Key: key, After: pol.Timeout})
+	case <-ctx.Done():
+		cancel()
+		<-done
 		return zero, ctx.Err()
 	}
 }

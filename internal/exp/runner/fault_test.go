@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -365,4 +367,125 @@ func TestPanicErrorIsTyped(t *testing.T) {
 	if !IsPermanent(err) {
 		t.Error("panic error should be permanent")
 	}
+}
+
+// TestCooperativeTimeoutWaitsForUnwind: with Cooperative set, a timed-out
+// attempt's context is cancelled and Execute WAITS for fn to unwind before
+// returning the permanent *TimeoutError — no goroutine is abandoned, so the
+// worker slot Execute held is genuinely free when the error surfaces.
+func TestCooperativeTimeoutWaitsForUnwind(t *testing.T) {
+	clock := &fakeClock{}
+	started := make(chan struct{})
+	var unwound atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		_, err := Execute(context.Background(),
+			FaultPolicy{Timeout: time.Second, Cooperative: true}, clock, "coop",
+			func(ctx context.Context) (int, error) {
+				close(started)
+				<-ctx.Done() // the engine stopping at its next epoch boundary
+				unwound.Store(true)
+				return 0, ctx.Err()
+			})
+		done <- err
+	}()
+	<-started
+	clock.fireTimeout(0)
+	select {
+	case err := <-done:
+		var te *TimeoutError
+		if !errors.As(err, &te) {
+			t.Fatalf("err = %T %v, want *TimeoutError", err, err)
+		}
+		if te.Key != "coop" || te.After != time.Second {
+			t.Errorf("TimeoutError = %+v, want key coop / after 1s", te)
+		}
+		if !IsPermanent(err) {
+			t.Error("cooperative timeout should be permanent (never retried)")
+		}
+		if !unwound.Load() {
+			t.Error("Execute returned before fn unwound; goroutine abandoned")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Execute did not return after timeout fired")
+	}
+}
+
+// TestCooperativeParentCancel: cancelling the caller's context surfaces
+// ctx.Err() (not a TimeoutError), and still waits for fn to unwind.
+func TestCooperativeParentCancel(t *testing.T) {
+	clock := &fakeClock{}
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var unwound atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		_, err := Execute(ctx,
+			FaultPolicy{Timeout: time.Hour, Cooperative: true}, clock, "coop-cancel",
+			func(ctx context.Context) (int, error) {
+				close(started)
+				<-ctx.Done()
+				unwound.Store(true)
+				return 0, ctx.Err()
+			})
+		done <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if !unwound.Load() {
+			t.Error("Execute returned before fn unwound; goroutine abandoned")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Execute did not return after parent cancellation")
+	}
+}
+
+// TestCooperativeSuccess: a cooperative job that completes within its
+// timeout passes its value through untouched.
+func TestCooperativeSuccess(t *testing.T) {
+	got, err := Execute(context.Background(),
+		FaultPolicy{Timeout: time.Second, Cooperative: true}, &fakeClock{}, "ok",
+		func(context.Context) (int, error) { return 7, nil })
+	if err != nil || got != 7 {
+		t.Fatalf("got %d, %v; want 7, nil", got, err)
+	}
+}
+
+// TestCooperativeNoGoroutineLeak: a burst of cooperative timeouts leaves no
+// goroutines behind — each timed-out attempt unwinds before Execute returns,
+// so the count settles back to the baseline.
+func TestCooperativeNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		clock := &fakeClock{}
+		started := make(chan struct{})
+		ret := make(chan struct{})
+		go func() {
+			Execute(context.Background(),
+				FaultPolicy{Timeout: time.Second, Cooperative: true}, clock, "leak",
+				func(ctx context.Context) (int, error) {
+					close(started)
+					<-ctx.Done()
+					return 0, ctx.Err()
+				})
+			close(ret)
+		}()
+		<-started
+		clock.fireTimeout(0)
+		<-ret
+	}
+	// Settle: scheduling may lag a moment behind channel operations.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: before=%d after=%d; cooperative timeouts leaked", before, runtime.NumGoroutine())
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"streamline/internal/core"
@@ -19,7 +20,7 @@ import (
 // memoized (single-flight, like RunMix); the returned system must be treated
 // as read-only.
 func (r *Runner) runWithSystem(arm Arm, workload string) (sim.Result, *sim.System) {
-	return r.runSystem(arm.Name+"|"+workload, func() (sim.Result, *sim.System) {
+	return r.runSystem(arm.Name+"|"+workload, func(ctx context.Context) (sim.Result, *sim.System, error) {
 		cfg := r.Scale.baseConfig(1)
 		arm.Apply(&cfg, r.Scale)
 		r.attachAudit(&cfg, arm.Name+"|"+workload+"|sys")
@@ -31,9 +32,12 @@ func (r *Runner) runWithSystem(arm Arm, workload string) (sim.Result, *sim.Syste
 		}
 		sys.SetTrace(0, w.NewTrace(workloads.Scale{Footprint: r.Scale.Footprint}, r.Scale.Seed))
 		r.logf("  [%s] %s (with system)\n", arm.Name, workload)
-		res := sys.Run()
+		res, err := sys.RunCtx(ctx, 0, nil)
 		finish()
-		return res, sys
+		if err != nil {
+			return sim.Result{}, nil, err
+		}
+		return res, sys, nil
 	})
 }
 

@@ -23,8 +23,8 @@ type AccessRecord struct {
 	// before the response was ready (outcome "abandoned").
 	Status int `json:"status"`
 	// Outcome is the request's accounting class: invalid, memory-hit,
-	// store-hit, collapsed, computed, failed, rejected, drain-refused, or
-	// abandoned.
+	// store-hit, collapsed, computed, failed, canceled, rejected,
+	// drain-refused, or abandoned.
 	Outcome string `json:"outcome"`
 	// Tier is the serving cache tier (none, memory, store, flight) for
 	// requests that produced a simulation response.

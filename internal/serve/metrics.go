@@ -62,6 +62,7 @@ func newServerMetrics(s *Server, reg *metrics.Registry) *serverMetrics {
 		"collapsed":     s.collapsed.Load,
 		"computed":      s.computed.Load,
 		"failed":        s.failed.Load,
+		"canceled":      s.canceled.Load,
 		"rejected":      s.rejected.Load,
 		"drain_refused": s.drainRefused.Load,
 	}
@@ -87,6 +88,16 @@ func newServerMetrics(s *Server, reg *metrics.Registry) *serverMetrics {
 	reg.GaugeFunc("streamd_worker_capacity",
 		"size of the worker pool", func() float64 {
 			return float64(s.cfg.Workers)
+		})
+	reg.GaugeFunc("streamd_sim_progress",
+		"trace records retired so far by in-flight simulations", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			var total uint64
+			for _, f := range s.flights {
+				total += f.records.Load()
+			}
+			return float64(total)
 		})
 	reg.GaugeFunc("streamd_cache_entries",
 		"response bodies resident in the in-memory LRU", func() float64 {

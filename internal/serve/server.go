@@ -64,7 +64,8 @@ type Config struct {
 
 // Counters is a snapshot of the server's request accounting. Every request
 // lands in exactly one of: Invalid, MemoryHits, StoreHits, Collapsed,
-// Rejected, DrainRefused, or the computation outcomes Computed/Failed.
+// Rejected, DrainRefused, or the computation outcomes
+// Computed/Failed/Canceled.
 type Counters struct {
 	Requests   uint64 `json:"requests"`
 	Invalid    uint64 `json:"invalid"`
@@ -73,7 +74,11 @@ type Counters struct {
 	Collapsed  uint64 `json:"collapsed"`
 	Computed   uint64 `json:"computed"`
 	Failed     uint64 `json:"failed"`
-	Rejected   uint64 `json:"rejected"`
+	// Canceled counts computations stopped before completion — every waiter
+	// disconnected, or the drain deadline passed. Canceled results are never
+	// cached.
+	Canceled uint64 `json:"canceled"`
+	Rejected uint64 `json:"rejected"`
 	// DrainRefused counts requests refused with 503 because the server was
 	// draining when they asked for a new computation.
 	DrainRefused uint64 `json:"drainRefused"`
@@ -124,21 +129,35 @@ type Server struct {
 
 	requests, invalid, memHits, storeHits atomic.Uint64
 	collapsed, computed, failed, rejected atomic.Uint64
-	drainRefused                          atomic.Uint64
+	canceled, drainRefused                atomic.Uint64
 
 	hookMu      sync.Mutex
 	computeHook func(key string)
 }
 
 // flight is one in-progress computation; concurrent identical requests wait
-// on done and share its response. stages is written by the computing
-// goroutine before done closes, so waiters that observed the close may read
-// it (the originating request promotes it into its access record).
+// on done and share its response. status, body, outcome, and stages are
+// written by the computing goroutine before done closes, so waiters that
+// observed the close may read them (the originating request promotes stages
+// into its access record).
 type flight struct {
-	done   chan struct{}
-	status int
-	body   []byte
-	stages StageTimings
+	done    chan struct{}
+	status  int
+	body    []byte
+	outcome string
+	stages  StageTimings
+
+	// cancel stops the computation cooperatively: the engine halts at its
+	// next epoch boundary and nothing is cached. The last disconnecting
+	// waiter calls it, Drain calls it on deadline, and compute calls it on
+	// exit to release the context.
+	cancel context.CancelFunc
+	// waiters counts requests awaiting done; guarded by Server.mu.
+	waiters int
+	// records is the computation's live progress (trace records retired),
+	// published from the engine's epoch observer and summed into the
+	// streamd_sim_progress gauge.
+	records atomic.Uint64
 }
 
 // New returns a server over cfg with defaults applied.
@@ -210,6 +229,7 @@ func (s *Server) Counters() Counters {
 		Collapsed:    s.collapsed.Load(),
 		Computed:     s.computed.Load(),
 		Failed:       s.failed.Load(),
+		Canceled:     s.canceled.Load(),
 		Rejected:     s.rejected.Load(),
 		DrainRefused: s.drainRefused.Load(),
 	}
@@ -235,14 +255,17 @@ func (s *Server) Status() Status {
 		st.StoreRecords = s.cfg.Store.Len()
 	}
 	hits := st.MemoryHits + st.StoreHits + st.Collapsed
-	if total := hits + st.Computed + st.Failed; total > 0 {
+	if total := hits + st.Computed + st.Failed + st.Canceled; total > 0 {
 		st.HitRate = float64(hits) / float64(total)
 	}
 	return st
 }
 
 // Drain stops admitting new computations and waits for in-flight ones to
-// finish (and persist). It returns ctx's error if the deadline passes first.
+// finish (and persist). If ctx's deadline passes first, every in-flight
+// computation is canceled cooperatively and Drain waits for the workers to
+// unwind before returning ctx's error — a drained server leaves no
+// simulating goroutine behind either way.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
@@ -256,6 +279,12 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-done:
 		return nil
 	case <-ctx.Done():
+		s.mu.Lock()
+		for _, f := range s.flights {
+			f.cancel()
+		}
+		s.mu.Unlock()
+		<-done
 		return ctx.Err()
 	}
 }
@@ -381,6 +410,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	// Tier 3: single-flight on the in-progress computation, else admit.
 	s.mu.Lock()
 	if f, ok := s.flights[key]; ok {
+		f.waiters++
 		s.mu.Unlock()
 		s.collapsed.Add(1)
 		s.event(seq, "collapsed", sp.ID())
@@ -408,13 +438,14 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.finish(span, http.StatusTooManyRequests, "rejected", "", n)
 		return
 	}
-	f := &flight{done: make(chan struct{})}
+	fctx, cancel := context.WithCancel(context.Background())
+	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	s.flights[key] = f
 	s.queued++
 	s.wg.Add(1)
 	s.mu.Unlock()
 
-	go s.compute(seq, key, sp, f, time.Now())
+	go s.compute(fctx, seq, key, sp, f, time.Now())
 	s.settle(w, r, span, f, "none", "computed")
 }
 
@@ -438,9 +469,10 @@ func (s *Server) retryAfter(queued int) string {
 
 // settle awaits the flight, serves its response, and closes the request's
 // access span. The originating request ("none") inherits the flight's
-// compute-side stage spans; a client that goes away before the flight
-// completes is logged as abandoned (the computation keeps running for the
-// other waiters and the cache).
+// compute-side stage spans. A client that goes away before the flight
+// completes is logged as abandoned; when it was the flight's last waiter the
+// computation has no audience left, so it is canceled — the engine stops at
+// its next epoch boundary and nothing is cached.
 func (s *Server) settle(w http.ResponseWriter, r *http.Request, span *accessSpan, f *flight, tier, outcome string) {
 	select {
 	case <-f.done:
@@ -458,51 +490,73 @@ func (s *Server) settle(w http.ResponseWriter, r *http.Request, span *accessSpan
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(f.status)
 		w.Write(f.body)
-		s.finish(span, f.status, "failed", tier, len(f.body))
+		s.finish(span, f.status, f.outcome, tier, len(f.body))
 	case <-r.Context().Done():
+		s.mu.Lock()
+		f.waiters--
+		last := f.waiters == 0
+		s.mu.Unlock()
+		if last {
+			f.cancel()
+		}
 		// 499: nginx's "client closed request" — never sent, log-only.
 		s.finish(span, 499, "abandoned", tier, 0)
 	}
 }
 
-// compute runs one cache-miss simulation on a worker slot under the fault
-// policy, publishes the marshaled response to the durable store and the LRU
-// before releasing the flight, and never lets a panicking or hung job take
-// the daemon down.
-func (s *Server) compute(seq uint64, key string, sp Spec, f *flight, admitted time.Time) {
+// compute runs one cache-miss simulation on a worker slot under a
+// cooperative fault policy, publishes the marshaled response to the durable
+// store and the LRU before releasing the flight, and never lets a panicking,
+// hung, or canceled job take the daemon down — or leave a goroutine behind.
+// ctx is the flight's context: canceling it (last waiter gone, drain
+// deadline) stops the engine at its next epoch boundary, and the partial
+// result is never cached.
+func (s *Server) compute(ctx context.Context, seq uint64, key string, sp Spec, f *flight, admitted time.Time) {
 	defer s.wg.Done()
-	s.sem <- struct{}{} // wait for a worker slot
-	queueWait := time.Since(admitted)
-	f.stages.QueueWaitUs = us(queueWait)
-	s.metrics.observeStage(stageQueueWait, queueWait)
-	s.inFlight.Add(1)
+	defer f.cancel() // release the flight context on every path
 
-	tSim := time.Now()
-	pol := runner.FaultPolicy{Timeout: s.cfg.JobTimeout, Metrics: s.jobMetrics}
-	res, err := runner.Execute(context.Background(), pol, nil, sp.ID(),
-		func(context.Context) (sim.Result, error) {
-			if hook := s.getComputeHook(); hook != nil {
-				hook(key)
-			}
-			cfg, err := sp.Config()
-			if err != nil {
-				return sim.Result{}, runner.Permanent(err)
-			}
-			sys, err := sp.NewSystem(cfg)
-			if err != nil {
-				return sim.Result{}, runner.Permanent(err)
-			}
-			return sys.Run(), nil
-		})
-	simulate := time.Since(tSim)
-	f.stages.SimulateUs = us(simulate)
-	s.metrics.observeStage(stageSimulate, simulate)
+	var res sim.Result
+	var err error
+	select {
+	case s.sem <- struct{}{}: // wait for a worker slot
+		queueWait := time.Since(admitted)
+		f.stages.QueueWaitUs = us(queueWait)
+		s.metrics.observeStage(stageQueueWait, queueWait)
+		s.inFlight.Add(1)
 
-	s.inFlight.Add(-1)
-	<-s.sem
+		tSim := time.Now()
+		pol := runner.FaultPolicy{Timeout: s.cfg.JobTimeout, Cooperative: true, Metrics: s.jobMetrics}
+		res, err = runner.Execute(ctx, pol, nil, sp.ID(),
+			func(ctx context.Context) (sim.Result, error) {
+				if hook := s.getComputeHook(); hook != nil {
+					hook(key)
+				}
+				cfg, err := sp.Config()
+				if err != nil {
+					return sim.Result{}, runner.Permanent(err)
+				}
+				sys, err := sp.NewSystem(cfg)
+				if err != nil {
+					return sim.Result{}, runner.Permanent(err)
+				}
+				return sys.RunCtx(ctx, 0, func(p sim.Progress) {
+					f.records.Store(p.Records)
+				})
+			})
+		simulate := time.Since(tSim)
+		f.stages.SimulateUs = us(simulate)
+		s.metrics.observeStage(stageSimulate, simulate)
+
+		s.inFlight.Add(-1)
+		<-s.sem
+	case <-ctx.Done():
+		// Canceled while still queued: bail without taking a slot.
+		err = ctx.Err()
+	}
 
 	var body []byte
 	status := http.StatusOK
+	outcome := "computed"
 	if err == nil {
 		tMarshal := time.Now()
 		body, err = json.Marshal(BuildResult(sp, res))
@@ -511,17 +565,26 @@ func (s *Server) compute(seq uint64, key string, sp Spec, f *flight, admitted ti
 		s.metrics.observeStage(stageMarshal, marshal)
 	}
 	if err != nil {
-		s.failed.Add(1)
-		status = http.StatusInternalServerError
 		var te *runner.TimeoutError
-		if errors.As(err, &te) {
-			status = http.StatusGatewayTimeout
+		switch {
+		case errors.As(err, &te):
+			s.failed.Add(1)
+			outcome, status = "failed", http.StatusGatewayTimeout
+			s.event(seq, "failed", sp.ID()+": "+err.Error())
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			s.canceled.Add(1)
+			outcome, status = "canceled", http.StatusServiceUnavailable
+			err = errors.New("simulation canceled before completion")
+			s.event(seq, "canceled", sp.ID())
+		default:
+			s.failed.Add(1)
+			outcome, status = "failed", http.StatusInternalServerError
+			s.event(seq, "failed", sp.ID()+": "+err.Error())
 		}
 		doc, _ := json.Marshal(struct {
 			Error string `json:"error"`
 		}{err.Error()})
 		body = doc
-		s.event(seq, "failed", sp.ID()+": "+err.Error())
 	} else {
 		// Persist before publishing: a client that saw this response can
 		// rely on a restart replaying it (PutRaw fsyncs).
@@ -541,6 +604,7 @@ func (s *Server) compute(seq uint64, key string, sp Spec, f *flight, admitted ti
 
 	f.status = status
 	f.body = body
+	f.outcome = outcome
 	close(f.done)
 
 	// Release the flight last: by now the result (if any) is already in the

@@ -21,8 +21,8 @@ type storeProvider interface {
 	Store() *meta.Store
 }
 
-// auditTick runs the periodic scan cadence; Run calls it after every trace
-// record when auditing is enabled.
+// auditTick runs the periodic scan cadence; Engine.Step calls it after every
+// trace record when auditing is enabled.
 func (s *System) auditTick(cs *coreState) {
 	s.sinceScan++
 	every := s.cfg.AuditInterval

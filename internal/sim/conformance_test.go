@@ -109,6 +109,16 @@ func runConformance(t *testing.T, arm conformanceArm, workload string) (sim.Resu
 
 func runConformanceSys(t *testing.T, arm conformanceArm, workload string) (sim.Result, *audit.Auditor, *sim.System) {
 	t.Helper()
+	sys, aud := buildConformanceSys(t, arm, workload)
+	return sys.Run(), aud, sys
+}
+
+// buildConformanceSys constructs the audited micro-run system without running
+// it, so callers can drive it either one-shot (Run) or stepped (Engine) —
+// the stepped-equivalence suite in engine_test.go relies on both paths
+// starting from identical systems.
+func buildConformanceSys(t *testing.T, arm conformanceArm, workload string) (*sim.System, *audit.Auditor) {
+	t.Helper()
 	cfg := sim.DefaultConfig(1)
 	cfg.LLC.Sets = 128
 	cfg.L2.Sets = 64
@@ -127,7 +137,7 @@ func runConformanceSys(t *testing.T, arm conformanceArm, workload string) (sim.R
 	}
 	sys := sim.New(cfg)
 	sys.SetTrace(0, w.NewTrace(workloads.Scale{Footprint: 0.05}, conformanceSeed))
-	return sys.Run(), aud, sys
+	return sys, aud
 }
 
 // metaDRAMTraffic reports DRAM traffic a temporal prefetcher's metadata

@@ -323,60 +323,10 @@ func stillEarliest(next, runnerUp *coreState) bool {
 
 // Run drives all cores until each has executed warmup+measure instructions,
 // interleaving them by current cycle time so contention is modeled, and
-// returns the measured-phase results.
+// returns the measured-phase results. It is a fresh Engine driven to
+// completion, so one-shot and stepped execution share one code path.
 func (s *System) Run() Result {
-	warm := s.cfg.WarmupInstructions
-	total := warm + s.cfg.MeasureInstructions
-	next, runnerUp := s.pickNext()
-	for next != nil {
-		if !next.measured && next.core.Instructions() >= warm {
-			next.warmBase = s.snapshotCore(next)
-			next.measured = true
-			if n := s.cfg.Telemetry.SampleInterval(); n > 0 {
-				next.lastSample = next.warmBase
-				next.nextSample = next.core.Instructions() + n
-			}
-		}
-		if next.core.Instructions() >= total {
-			s.telemetryFinish(next)
-			next.final = s.snapshotCore(next)
-			next.done = true
-			next, runnerUp = s.pickNext()
-			continue
-		}
-		if !s.step(next) {
-			s.telemetryFinish(next)
-			next.final = s.snapshotCore(next)
-			if !next.measured {
-				// The trace exhausted before warmup completed, so the
-				// measured window never opened: snapshot the baseline at
-				// the end too, or collect() would subtract a zero
-				// baseline and report the warmup activity as measured.
-				next.warmBase = next.final
-				next.measured = true
-			}
-			next.done = true
-		}
-		if s.cfg.Audit != nil {
-			s.auditTick(next)
-		}
-		if s.cfg.Telemetry != nil {
-			s.telemetryTick(next)
-		}
-		if next.done || !stillEarliest(next, runnerUp) {
-			next, runnerUp = s.pickNext()
-		}
-	}
-	if s.cfg.Audit != nil {
-		var end uint64
-		for _, cs := range s.cores {
-			if f := cs.core.Finish(); f > end {
-				end = f
-			}
-		}
-		s.auditScan(end)
-	}
-	return s.collect()
+	return s.Engine().Finish()
 }
 
 // RunTrace is the single-core convenience: attach tr to core 0 and Run.

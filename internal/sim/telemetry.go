@@ -15,8 +15,9 @@ import (
 )
 
 // telemetryTick emits interval records for every sample boundary cs crossed
-// with its last step. Run calls it after each trace record when telemetry is
-// enabled.
+// with its last step. Engine.Step calls it after each trace record when
+// telemetry is enabled, so the sampler rides the engine's record loop — the
+// same mechanism that drives the audit cadence — instead of owning one.
 func (s *System) telemetryTick(cs *coreState) {
 	n := s.cfg.Telemetry.SampleInterval()
 	if n == 0 || !cs.measured || cs.done {
